@@ -1,0 +1,284 @@
+(* ba_sim — command-line driver for the reproduction.
+
+   Subcommands:
+     run        one protocol execution with a summary line
+     table1     the measured Table 1 comparison
+     sweep      scaling sweep with fitted growth exponents
+     games      the Fig. 1 / Fig. 2 security games over the attack portfolio
+     boost      the one-shot boost experiment (E11) and the Thm-1.3 attack
+     broadcast  the Cor. 1.2 amortization experiment *)
+
+open Cmdliner
+open Repro_core
+
+let n_arg =
+  Arg.(value & opt int 128 & info [ "n" ] ~docv:"N" ~doc:"Number of parties.")
+
+let beta_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "beta" ] ~docv:"BETA" ~doc:"Corruption rate (fraction of n).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRG seed.")
+
+let protocol_arg =
+  let parse s =
+    match Runner.protocol_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("unknown protocol: " ^ s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Runner.protocol_name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Runner.This_work_snark
+    & info [ "protocol"; "p" ] ~docv:"PROTO"
+        ~doc:
+          "Protocol: this-work-owf | this-work-snark | multisig-boost | \
+           sqrt-quorum | naive-flood.")
+
+let ns_arg =
+  Arg.(
+    value
+    & opt (list int) [ 64; 128; 256 ]
+    & info [ "ns" ] ~docv:"N1,N2,..." ~doc:"Party counts for tables/sweeps.")
+
+(* --- run --- *)
+
+let run_cmd =
+  let action protocol n beta seed =
+    let row = Runner.run ~protocol ~n ~beta ~seed in
+    Printf.printf
+      "%s n=%d beta=%.2f: rounds=%d max=%.1fKiB/party mean=%.1fKiB total=%.1fMiB \
+       locality=%d ok=%b (%s)\n"
+      row.Runner.r_protocol row.Runner.r_n row.Runner.r_beta row.Runner.r_rounds
+      (float_of_int row.Runner.r_max_bytes /. 1024.)
+      (row.Runner.r_mean_bytes /. 1024.)
+      (float_of_int row.Runner.r_total_bytes /. 1048576.)
+      row.Runner.r_locality row.Runner.r_ok row.Runner.r_note
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol execution.")
+    Term.(const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg)
+
+(* --- table1 --- *)
+
+let table1_cmd =
+  let action ns beta seed =
+    Repro_util.Tablefmt.print (Runner.table1 ~ns ~beta ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (measured).")
+    Term.(const action $ ns_arg $ beta_arg $ seed_arg)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let action ns beta seed =
+    Repro_util.Tablefmt.print (Runner.sweep_table ~ns ~beta ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Scaling sweep with fitted growth exponents.")
+    Term.(const action $ ns_arg $ beta_arg $ seed_arg)
+
+(* --- games --- *)
+
+let games_cmd =
+  let action n seed =
+    let t = n / 8 in
+    let module G_owf = Srds_experiments.Make (Srds_owf) in
+    let module G_snark = Srds_experiments.Make (Srds_snark) in
+    let module G_abl = Srds_experiments.Make (Srds_snark_ablated) in
+    Printf.printf "== Fig. 1 robustness games (n=%d, t=%d) ==\n" n t;
+    let rob name (r : G_owf.robustness_result) =
+      Printf.printf "  owf   %-10s robust=%b (root count=%s)\n" name r.G_owf.r_accepted
+        (match r.G_owf.r_root_count with Some c -> string_of_int c | None -> "-")
+    in
+    rob "passive" (G_owf.robustness ~n ~t ~seed (G_owf.passive_adversary ~t));
+    rob "silent" (G_owf.robustness ~n ~t ~seed (G_owf.silent_adversary ~t));
+    rob "garbage" (G_owf.robustness ~n ~t ~seed (G_owf.garbage_adversary ~t));
+    rob "duplicate" (G_owf.robustness ~n ~t ~seed (G_owf.duplicate_adversary ~t));
+    let rob2 name (r : G_snark.robustness_result) =
+      Printf.printf "  snark %-10s robust=%b (root count=%s)\n" name r.G_snark.r_accepted
+        (match r.G_snark.r_root_count with Some c -> string_of_int c | None -> "-")
+    in
+    rob2 "passive" (G_snark.robustness ~n ~t ~seed (G_snark.passive_adversary ~t));
+    rob2 "silent" (G_snark.robustness ~n ~t ~seed (G_snark.silent_adversary ~t));
+    rob2 "garbage" (G_snark.robustness ~n ~t ~seed (G_snark.garbage_adversary ~t));
+    rob2 "duplicate" (G_snark.robustness ~n ~t ~seed (G_snark.duplicate_adversary ~t));
+    Printf.printf "== Fig. 2 forgery games ==\n";
+    let s_count = max 1 (n / 12) in
+    let fg scheme name (win, detail) =
+      Printf.printf "  %-5s %-18s forged=%b (%s)\n" scheme name win detail
+    in
+    let owf_res adv =
+      let r = G_owf.forgery ~n ~t ~seed adv in
+      (r.G_owf.f_win, r.G_owf.f_detail)
+    in
+    fg "owf" "replay" (owf_res (G_owf.replay_adversary ~t ~s_count));
+    fg "owf" "minority" (owf_res (G_owf.minority_adversary ~t ~s_count));
+    fg "owf" "dup-inflate"
+      (owf_res (G_owf.duplicate_inflation_adversary ~t ~s_count ~copies:6));
+    let snark_res adv =
+      let r = G_snark.forgery ~n ~t ~seed adv in
+      (r.G_snark.f_win, r.G_snark.f_detail)
+    in
+    fg "snark" "replay" (snark_res (G_snark.replay_adversary ~t ~s_count));
+    fg "snark" "minority" (snark_res (G_snark.minority_adversary ~t ~s_count));
+    fg "snark" "dup-inflate"
+      (snark_res (G_snark.duplicate_inflation_adversary ~t ~s_count ~copies:6));
+    let abl =
+      let r =
+        G_abl.forgery ~n ~t ~seed
+          (G_abl.duplicate_inflation_adversary ~t ~s_count ~copies:8)
+      in
+      (r.G_abl.f_win, r.G_abl.f_detail)
+    in
+    fg "ABLATED(no ranges)" "dup-inflate" abl
+  in
+  Cmd.v
+    (Cmd.info "games" ~doc:"Run the Fig. 1/Fig. 2 security games.")
+    Term.(const action $ n_arg $ seed_arg)
+
+(* --- boost --- *)
+
+let boost_cmd =
+  let action n beta seed =
+    let module B = Boost.Make (Srds_owf) in
+    let rng = Repro_util.Rng.create seed in
+    let corrupt =
+      Repro_util.Rng.subset rng ~n ~size:(int_of_float (beta *. float_of_int n))
+    in
+    Printf.printf "== one-shot boost (n=%d, beta=%.2f, iso=0.15) ==\n" n beta;
+    List.iter
+      (fun degree ->
+        let r = B.run { Boost.n; corrupt; isolated_fraction = 0.15; degree; seed } in
+        Printf.printf "  degree=%-3d recovered=%.3f fooled=%.3f max=%.1fKiB\n" degree
+          r.Boost.recovered_fraction r.Boost.fooled_fraction
+          (float_of_int r.Boost.report.Repro_net.Metrics.max_bytes /. 1024.))
+      [ 2; 4; 8; 16; 32 ];
+    let r = B.run_unauthenticated { Boost.n; corrupt; isolated_fraction = 0.15; degree = 16; seed } in
+    Printf.printf
+      "  UNAUTHENTICATED degree=16: recovered=%.3f fooled=%.3f  <- Thm 1.3 attack\n"
+      r.Boost.recovered_fraction r.Boost.fooled_fraction
+  in
+  Cmd.v
+    (Cmd.info "boost" ~doc:"One-shot boost experiment and the Thm 1.3 attack.")
+    Term.(const action $ n_arg $ beta_arg $ seed_arg)
+
+(* --- broadcast --- *)
+
+let broadcast_cmd =
+  let action n beta seed =
+    let module Bc = Broadcast.Make (Srds_snark) in
+    let rng = Repro_util.Rng.create seed in
+    let corrupt =
+      Repro_util.Rng.subset rng ~n ~size:(int_of_float (beta *. float_of_int n))
+    in
+    let cfg =
+      Balanced_ba.default_config ~n ~corrupt ~inputs:(Array.make n false) ~seed ()
+    in
+    Printf.printf "== broadcast amortization (Cor. 1.2, n=%d) ==\n" n;
+    List.iter
+      (fun l ->
+        let senders =
+          List.filteri (fun k _ -> k < l)
+            (List.filter (fun p -> not (List.mem p corrupt)) (List.init n (fun p -> p)))
+        in
+        let messages =
+          List.map (fun p -> (p, Bytes.of_string (Printf.sprintf "payload-%d" p))) senders
+        in
+        let r = Bc.run cfg ~messages in
+        let all_ok =
+          List.for_all (fun e -> e.Broadcast.consistent && e.Broadcast.delivered) r.Broadcast.execs
+        in
+        Printf.printf "  l=%-2d amortized max=%.1f KiB/party/exec ok=%b\n" l
+          (r.Broadcast.amortized_max_bytes /. 1024.)
+          all_ok)
+      [ 1; 2; 4; 8 ]
+  in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Broadcast corollary amortization experiment.")
+    Term.(const action $ n_arg $ beta_arg $ seed_arg)
+
+(* --- attacks --- *)
+
+let attacks_cmd =
+  let action n seed =
+    let open Repro_aetree in
+    let params = Params.default n in
+    let tree = Tree.random params (Repro_util.Rng.create seed) in
+    Printf.printf "== setup-aware corruption damage (n=%d, budget=n/8) ==
+" n;
+    List.iter
+      (fun strategy ->
+        let d =
+          Attacks.measure tree ~strategy ~budget:(n / 8)
+            ~rng:(Repro_util.Rng.create (seed + 1))
+        in
+        Printf.printf "  %-12s good-path leaves=%.3f connected=%.3f root-good=%b
+"
+          d.Attacks.d_strategy d.Attacks.d_good_leaf_fraction
+          d.Attacks.d_connected_fraction d.Attacks.d_root_good)
+      [ Attacks.Random; Attacks.Kill_leaves; Attacks.Target_root ];
+    print_endline "  (target-root is out of model: corruption precedes the election)"
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"Targeted tree-corruption strategies (E12).")
+    Term.(const action $ n_arg $ seed_arg)
+
+(* --- breakdown --- *)
+
+let breakdown_cmd =
+  let action protocol n beta seed =
+    (match protocol with
+    | Runner.Sqrt_boost | Runner.Naive_boost ->
+      prerr_endline "breakdown: pick a pipeline protocol (owf/snark/multisig)";
+      exit 1
+    | _ -> ());
+    let rng = Repro_util.Rng.create seed in
+    let corrupt =
+      Repro_util.Rng.subset rng ~n ~size:(int_of_float (beta *. float_of_int n))
+    in
+    let cfg =
+      Balanced_ba.default_config ~n ~corrupt
+        ~inputs:(Array.init n (fun i -> i mod 2 = 0))
+        ~seed ()
+    in
+    let r =
+      match protocol with
+      | Runner.This_work_owf ->
+        let module B = Balanced_ba.Make (Srds_owf) in
+        B.run cfg
+      | Runner.Multisig_boost ->
+        let module B = Balanced_ba.Make (Baseline_multisig) in
+        B.run cfg
+      | _ ->
+        let module B = Balanced_ba.Make (Srds_snark) in
+        B.run cfg
+    in
+    let total = List.fold_left (fun acc (_, b) -> acc + b) 0 r.Balanced_ba.breakdown in
+    Printf.printf "== per-phase bytes, %s, n=%d ==
+" (Runner.protocol_name protocol) n;
+    List.iter
+      (fun (g, b) ->
+        Printf.printf "  %-16s %8.2f MiB  %5.1f%%
+" g
+          (float_of_int b /. 1048576.)
+          (100. *. float_of_int b /. float_of_int total))
+      r.Balanced_ba.breakdown
+  in
+  Cmd.v
+    (Cmd.info "breakdown" ~doc:"Per-phase communication breakdown (E13).")
+    Term.(const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "ba_sim" ~version:"1.0"
+      ~doc:"Byzantine agreement with polylog bits per party: simulator CLI."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; table1_cmd; sweep_cmd; games_cmd; boost_cmd; broadcast_cmd;
+            attacks_cmd; breakdown_cmd ]))

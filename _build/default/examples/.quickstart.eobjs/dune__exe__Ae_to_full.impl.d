@@ -1,0 +1,1 @@
+examples/ae_to_full.ml: Boost List Printf Repro_core Repro_util Srds_owf

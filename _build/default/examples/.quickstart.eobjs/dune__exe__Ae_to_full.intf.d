@@ -1,0 +1,1 @@
+examples/ae_to_full.mli:

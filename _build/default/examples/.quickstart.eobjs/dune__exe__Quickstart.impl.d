@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Balanced_ba List Printf Repro_core Repro_net Repro_util Srds_snark

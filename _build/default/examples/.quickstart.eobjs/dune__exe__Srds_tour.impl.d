@@ -1,0 +1,1 @@
+examples/srds_tour.ml: Array Bytes List Printf Repro_core Repro_util Srds_intf Srds_owf Srds_snark Srds_snark_ablated Srds_vrf

@@ -1,0 +1,1 @@
+examples/srds_tour.mli:

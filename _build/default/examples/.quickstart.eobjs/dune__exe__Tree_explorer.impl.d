@@ -1,0 +1,1 @@
+examples/tree_explorer.ml: Array Format List Params Printf Repro_aetree Repro_util String Sys Tree

@@ -1,0 +1,1 @@
+examples/validator_vote.ml: Array Balanced_ba Broadcast List Printf Repro_core Repro_crypto Repro_net Repro_util Srds_snark

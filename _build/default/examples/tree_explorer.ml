@@ -1,0 +1,76 @@
+(* Explore the almost-everywhere communication tree (Defs. 2.3/3.4): print
+   its shape, walk one signature's aggregation path, and watch goodness
+   degrade as corruption grows.
+
+     dune exec examples/tree_explorer.exe [n]  *)
+
+open Repro_aetree
+module Rng = Repro_util.Rng
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 256 in
+  let params = Params.default n in
+  let tree = Tree.random params (Rng.create 7) in
+
+  Format.printf "parameters: %a@." Params.pp params;
+  Printf.printf "\ntree shape (level: nodes x assigned-parties):\n";
+  for level = params.Params.height downto 1 do
+    let count = Tree.nodes_at_level tree ~level in
+    let sample = Array.length (Tree.assigned tree ~level ~idx:0) in
+    let role =
+      if level = params.Params.height then "root / supreme committee"
+      else if level = 1 then "leaves (virtual-ID ranges)"
+      else "internal committees"
+    in
+    Printf.printf "  level %d: %4d node%s x ~%2d parties   %s\n" level count
+      (if count = 1 then " " else "s")
+      sample role
+  done;
+
+  (* one party's view *)
+  let p = 17 mod n in
+  let slots = Tree.party_slots tree p in
+  Printf.printf "\nparty %d owns %d virtual IDs: %s\n" p (List.length slots)
+    (String.concat ", " (List.map string_of_int slots));
+  let leaves =
+    List.sort_uniq compare (List.map (Params.leaf_of_slot params) slots)
+  in
+  Printf.printf "  spread over leaves: %s (Def. 3.4's repeated parties)\n"
+    (String.concat ", " (List.map string_of_int leaves));
+
+  (* the aggregation path of the party's first slot *)
+  (match slots with
+  | s :: _ ->
+    Printf.printf "\naggregation path of virtual ID %d:\n" s;
+    let leaf = Params.leaf_of_slot params s in
+    let rec walk level idx =
+      let lo, hi = Tree.range tree ~level ~idx in
+      let members = Tree.assigned tree ~level ~idx in
+      Printf.printf "  level %d node %-3d  range [%d, %d]  committee of %d\n" level
+        idx lo hi (Array.length members);
+      match Tree.parent tree ~level ~idx with
+      | Some parent when level < params.Params.height -> walk (level + 1) parent
+      | _ -> ()
+    in
+    walk 1 leaf;
+    Printf.printf
+      "  (each hop: Aggregate1 filters + range checks, f_aggr-sig agrees,\n";
+    Printf.printf "   the node signature moves to the parent committee)\n"
+  | [] -> ());
+
+  (* goodness degradation *)
+  Printf.printf "\ngoodness vs corruption (random corruption, one sample each):\n";
+  Printf.printf "  %-6s %-18s %-18s %s\n" "beta" "good-path leaves" "connected parties"
+    "root good";
+  List.iter
+    (fun beta ->
+      let rng = Rng.create (int_of_float (beta *. 1000.)) in
+      let corrupt_set =
+        Rng.subset rng ~n ~size:(int_of_float (beta *. float_of_int n))
+      in
+      let corrupt q = List.mem q corrupt_set in
+      Printf.printf "  %-6.2f %-18.3f %-18.3f %b\n" beta
+        (Tree.good_leaf_fraction tree ~corrupt)
+        (Tree.connected_fraction tree ~corrupt)
+        (Tree.is_good tree ~corrupt ~level:params.Params.height ~idx:0))
+    [ 0.0; 0.1; 0.2; 0.3 ]

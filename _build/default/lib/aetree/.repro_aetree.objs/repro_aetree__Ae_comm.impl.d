@@ -1,0 +1,1 @@
+lib/aetree/ae_comm.ml: Array Bytes Election Hashtbl List Params Repro_crypto Repro_net Repro_util Tree Tree_check

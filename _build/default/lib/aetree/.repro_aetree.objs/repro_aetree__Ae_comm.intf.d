@@ -1,0 +1,1 @@
+lib/aetree/ae_comm.mli: Params Repro_net Repro_util Tree

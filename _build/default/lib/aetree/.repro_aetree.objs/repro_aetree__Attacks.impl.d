@@ -1,0 +1,1 @@
+lib/aetree/attacks.ml: Array Hashtbl List Params Repro_util Tree

@@ -1,0 +1,1 @@
+lib/aetree/attacks.mli: Repro_util Tree

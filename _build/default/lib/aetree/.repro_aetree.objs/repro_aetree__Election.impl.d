@@ -1,0 +1,1 @@
+lib/aetree/election.ml: Array Bytes Hashtbl List Option Params Printf Repro_crypto Repro_net Repro_util String

@@ -1,0 +1,1 @@
+lib/aetree/election.mli: Params Repro_net Repro_util

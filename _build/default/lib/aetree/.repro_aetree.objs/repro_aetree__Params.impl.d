@@ -1,0 +1,1 @@
+lib/aetree/params.ml: Format Repro_util

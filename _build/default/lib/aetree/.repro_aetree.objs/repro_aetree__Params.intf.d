@@ -1,0 +1,1 @@
+lib/aetree/params.mli: Format

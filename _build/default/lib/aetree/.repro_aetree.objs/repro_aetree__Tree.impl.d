@@ -1,0 +1,1 @@
+lib/aetree/tree.ml: Array Hashtbl List Params Repro_crypto Repro_util

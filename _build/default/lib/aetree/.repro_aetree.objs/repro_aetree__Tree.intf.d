@@ -1,0 +1,1 @@
+lib/aetree/tree.mli: Params Repro_util

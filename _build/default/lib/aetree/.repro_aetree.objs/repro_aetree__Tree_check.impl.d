@@ -1,0 +1,1 @@
+lib/aetree/tree_check.ml: Array Format List Params Repro_util Tree

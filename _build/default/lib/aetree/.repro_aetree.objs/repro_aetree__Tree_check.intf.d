@@ -1,0 +1,1 @@
+lib/aetree/tree_check.mli: Tree

@@ -1,0 +1,117 @@
+(* Adversarial corruption strategies against the communication tree.
+
+   The paper's corruption model lets the adversary choose whom to corrupt
+   *after* seeing the public setup — including the slot assignment (the
+   idmap is public). A natural attack is therefore to concentrate the
+   corruption budget on killing whole leaves (corrupting >= 1/3 of a leaf's
+   owners makes it bad, disconnecting its slots). Def. 3.4's *repeated
+   parties* — every party appears in z leaves and needs a majority of them
+   bad to be isolated — is exactly the defense: the experiments here
+   measure how much it buys over the z = 1 assignment of Def. 2.3. *)
+
+type strategy =
+  | Random (* corrupt a uniform subset *)
+  | Kill_leaves (* greedily corrupt whole leaves, cheapest first *)
+  | Target_root (* corrupt supreme-committee members first, then leaves *)
+
+let strategy_name = function
+  | Random -> "random"
+  | Kill_leaves -> "kill-leaves"
+  | Target_root -> "target-root"
+
+(* Owners of a leaf with their slot multiplicity, most-covered first. *)
+let leaf_owner_counts tree k =
+  let params = Tree.params tree in
+  let lo, hi = Params.leaf_slot_range params k in
+  let counts = Hashtbl.create 16 in
+  for s = lo to hi do
+    let p = Tree.slot_party tree s in
+    Hashtbl.replace counts p (1 + try Hashtbl.find counts p with Not_found -> 0)
+  done;
+  Hashtbl.fold (fun p c acc -> (p, c) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Corruptions still needed to make leaf k bad given the current set. *)
+let leaf_deficit tree corrupt k =
+  let owners = leaf_owner_counts tree k in
+  let m = List.length owners in
+  let bad = List.length (List.filter (fun (p, _) -> Hashtbl.mem corrupt p) owners) in
+  let need = (m / 3) + 1 in
+  max 0 (need - bad)
+
+let kill_leaves_attack tree ~budget =
+  let params = Tree.params tree in
+  let corrupt = Hashtbl.create budget in
+  let remaining = ref budget in
+  let continue_ = ref true in
+  while !remaining > 0 && !continue_ do
+    (* cheapest leaf to finish off among the still-good ones *)
+    let best = ref None in
+    for k = 0 to params.Params.num_leaves - 1 do
+      let d = leaf_deficit tree corrupt k in
+      if d > 0 && d <= !remaining then
+        match !best with
+        | Some (_, d') when d' <= d -> ()
+        | _ -> best := Some (k, d)
+    done;
+    match !best with
+    | None -> continue_ := false
+    | Some (k, _) ->
+      (* corrupt that leaf's not-yet-corrupt owners, most slots first
+         (corrupting heavy owners also damages their other leaves) *)
+      let owners = leaf_owner_counts tree k in
+      let rec take = function
+        | [] -> ()
+        | (p, _) :: rest ->
+          if leaf_deficit tree corrupt k > 0 && !remaining > 0 then begin
+            if not (Hashtbl.mem corrupt p) then begin
+              Hashtbl.replace corrupt p ();
+              decr remaining
+            end;
+            take rest
+          end
+      in
+      take owners
+  done;
+  Hashtbl.fold (fun p () acc -> p :: acc) corrupt [] |> List.sort compare
+
+let target_root_attack tree ~budget =
+  let supreme = Array.to_list (Tree.supreme_committee tree) in
+  let want = (List.length supreme / 3) + 1 in
+  let first = List.filteri (fun i _ -> i < min want budget) supreme in
+  if List.length first >= budget then List.filteri (fun i _ -> i < budget) first
+  else begin
+    (* leftover budget goes into leaf killing, avoiding double-corruption *)
+    let extra = kill_leaves_attack tree ~budget:(budget - List.length first) in
+    List.sort_uniq compare (first @ extra)
+    |> List.filteri (fun i _ -> i < budget)
+  end
+
+let corrupt_set tree ~strategy ~budget ~rng =
+  let params = Tree.params tree in
+  match strategy with
+  | Random -> Repro_util.Rng.subset rng ~n:params.Params.n ~size:budget
+  | Kill_leaves -> kill_leaves_attack tree ~budget
+  | Target_root -> target_root_attack tree ~budget
+
+(* Measured damage of an attack: tree-quality statistics under the chosen
+   corruption set. *)
+type damage = {
+  d_strategy : string;
+  d_budget : int;
+  d_good_leaf_fraction : float;
+  d_connected_fraction : float;
+  d_root_good : bool;
+}
+
+let measure tree ~strategy ~budget ~rng =
+  let set = corrupt_set tree ~strategy ~budget ~rng in
+  let corrupt p = List.mem p set in
+  let params = Tree.params tree in
+  {
+    d_strategy = strategy_name strategy;
+    d_budget = budget;
+    d_good_leaf_fraction = Tree.good_leaf_fraction tree ~corrupt;
+    d_connected_fraction = Tree.connected_fraction tree ~corrupt;
+    d_root_good = Tree.is_good tree ~corrupt ~level:params.Params.height ~idx:0;
+  }

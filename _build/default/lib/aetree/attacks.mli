@@ -1,0 +1,23 @@
+(** Adversarial corruption strategies against the communication tree:
+    the setup-aware attacks Def. 3.4's repeated parties defend against. *)
+
+type strategy =
+  | Random  (** uniform corrupt subset *)
+  | Kill_leaves  (** greedily corrupt whole leaves, cheapest first *)
+  | Target_root  (** supreme committee first, then leaves *)
+
+val strategy_name : strategy -> string
+
+val corrupt_set :
+  Tree.t -> strategy:strategy -> budget:int -> rng:Repro_util.Rng.t -> int list
+
+type damage = {
+  d_strategy : string;
+  d_budget : int;
+  d_good_leaf_fraction : float;
+  d_connected_fraction : float;
+  d_root_good : bool;
+}
+
+val measure :
+  Tree.t -> strategy:strategy -> budget:int -> rng:Repro_util.Rng.t -> damage

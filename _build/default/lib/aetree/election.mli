@@ -1,0 +1,17 @@
+(** Distributed seed generation establishing the communication tree — the
+    substrate standing in for King et al.'s scalable leader election (see
+    DESIGN.md). Commit/reveal within index groups, hash-combining relays up
+    and back down an index tree; polylog messages and bytes per party. *)
+
+type result = {
+  seed : bytes;  (** reference seed (lowest honest root-relay member's) *)
+  party_seed : bytes option array;  (** seed each party adopted *)
+  rounds_used : int;
+}
+
+val run :
+  ?adversary:Repro_net.Network.adversary ->
+  Repro_net.Network.t ->
+  Params.t ->
+  rng:Repro_util.Rng.t ->
+  result

@@ -1,0 +1,30 @@
+(** Parameters of the (n, I) almost-everywhere-communication tree
+    (paper Defs. 2.3/3.4). The [Scaled] profile keeps every quantity
+    Theta(polylog n) with constants that make laptop-scale sweeps feasible;
+    [Paper] uses the published exponents. *)
+
+type profile = Scaled | Paper
+
+type t = {
+  n : int;
+  z : int;  (** leaf assignments per party (Def. 3.4) *)
+  leaf_size : int;  (** z*: virtual slots per leaf *)
+  num_leaves : int;
+  num_slots : int;  (** virtual identities = num_leaves * leaf_size *)
+  committee_size : int;
+  branching : int;
+  height : int;  (** levels: 1 = leaves, [height] = root *)
+}
+
+val make :
+  n:int -> z:int -> leaf_size:int -> committee_size:int -> branching:int -> t
+
+val default : ?profile:profile -> int -> t
+val height_for : num_leaves:int -> branching:int -> int
+val nodes_at_level : t -> level:int -> int
+
+val leaf_slot_range : t -> int -> int * int
+(** Contiguous virtual-ID range of leaf k (Fig. 3 idmap property). *)
+
+val leaf_of_slot : t -> int -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/consensus/coin_toss.ml: Array Bytes Committee Hashtbl List Option Phase_king Repro_crypto Repro_net Repro_util

@@ -1,0 +1,1 @@
+lib/consensus/coin_toss.mli: Repro_net Repro_util

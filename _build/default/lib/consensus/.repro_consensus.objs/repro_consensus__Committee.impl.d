@@ -1,0 +1,1 @@
+lib/consensus/committee.ml: Array Bytes Hashtbl List Multi_ba Repro_crypto Repro_net Seq

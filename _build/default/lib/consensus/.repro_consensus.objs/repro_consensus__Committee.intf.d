@@ -1,0 +1,1 @@
+lib/consensus/committee.mli: Repro_net

@@ -1,0 +1,1 @@
+lib/consensus/dolev_strong.ml: Array Bytes Hashtbl List Phase_king Repro_crypto Repro_net Repro_util Seq

@@ -1,0 +1,1 @@
+lib/consensus/dolev_strong.mli: Repro_crypto Repro_net

@@ -1,0 +1,1 @@
+lib/consensus/gradecast.mli: Repro_net

@@ -1,0 +1,1 @@
+lib/consensus/mpc_xor.ml: Array Bytes Char Hashtbl List Option Repro_net Repro_util

@@ -1,0 +1,1 @@
+lib/consensus/mpc_xor.mli: Repro_net Repro_util

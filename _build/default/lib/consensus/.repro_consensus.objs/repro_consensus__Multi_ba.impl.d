@@ -1,0 +1,1 @@
+lib/consensus/multi_ba.ml: Array Bytes Hashtbl List Phase_king Repro_net Repro_util Seq

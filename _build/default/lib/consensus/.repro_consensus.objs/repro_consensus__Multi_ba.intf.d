@@ -1,0 +1,1 @@
+lib/consensus/multi_ba.mli: Repro_net

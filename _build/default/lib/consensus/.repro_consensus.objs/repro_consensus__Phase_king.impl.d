@@ -1,0 +1,1 @@
+lib/consensus/phase_king.ml: Array Bytes Char Hashtbl List Repro_net Seq

@@ -1,0 +1,1 @@
+lib/consensus/reliable_broadcast.ml: Array Bytes Hashtbl List Option Phase_king Repro_net Repro_util Seq

@@ -1,0 +1,1 @@
+lib/consensus/reliable_broadcast.mli: Repro_net

@@ -1,0 +1,323 @@
+(* Committee coin tossing — realizes f_ct (paper Sec. 3.1, after Chor et
+   al. [24]): every member verifiably shares a random value; the coin is the
+   sum of the qualified dealers' values, so it is uniform as long as one
+   honest dealer's value enters, and no rushing adversary can bias it by
+   selective aborts (a dealer that equivocates toward more than t members is
+   disqualified *before* any share is revealed; one that stays qualified is
+   reconstructable from honest shares alone).
+
+   VSS here is Shamir sharing + per-share hash commitments (CRH binding)
+   instead of error-correcting VSS — see DESIGN.md substitutions. A final
+   {!Committee.agree} run fixes byte-exact agreement on the coin (corrupt
+   dealers can cause boundary disagreements by equivocating commitment
+   vectors; agreement then adopts one honest candidate).
+
+   Round layout (m members, t = (m-1)/3 corrupt tolerated, k field elements):
+     0      deal: private shares + broadcast commitment vectors
+     1      complaints (bitmask per dealer)
+     2      reveal shares of qualified dealers
+     3...   Committee.agree on H(reconstructed sums)                       *)
+
+module Field = Repro_crypto.Field
+module Shamir = Repro_crypto.Shamir
+module Hashx = Repro_crypto.Hashx
+
+let k_elements = 5 (* 5 * 31 bits > kappa = 128 bits of entropy *)
+
+type deal = {
+  d_shares : (Shamir.share * bytes) array; (* my k (share, nonce) pairs *)
+  d_commits : bytes array array; (* commits.(j).(e): member j, element e *)
+}
+
+type t = {
+  members : int array;
+  me : int;
+  my_pos : int;
+  m : int;
+  t_corrupt : int;
+  rng : Repro_util.Rng.t;
+  mutable my_deal_private : (Shamir.share * bytes) array array;
+      (* per member-position: k (share, nonce) *)
+  mutable my_deal_commits : bytes array array;
+  deals : (int, deal) Hashtbl.t; (* dealer -> deal as seen by me *)
+  complaints : (int, int) Hashtbl.t; (* dealer -> #complaining members *)
+  reveals : (int, (int * (Shamir.share * bytes) array) list) Hashtbl.t;
+      (* dealer -> (revealer position, k pairs) *)
+  mutable agree : Committee.t option;
+  mutable candidate : bytes option;
+}
+
+let agree_rounds ~members = Committee.rounds ~members
+
+let rounds ~members = 3 + agree_rounds ~members
+
+let pos_of members me =
+  let rec go i = if members.(i) = me then i else go (i + 1) in
+  go 0
+
+let create ~members ~me ~rng =
+  let members_arr = Array.of_list (List.sort_uniq compare members) in
+  let m = Array.length members_arr in
+  {
+    members = members_arr;
+    me;
+    my_pos = pos_of members_arr me;
+    m;
+    t_corrupt = Phase_king.max_corrupt m;
+    rng;
+    my_deal_private = [||];
+    my_deal_commits = [||];
+    deals = Hashtbl.create 8;
+    complaints = Hashtbl.create 8;
+    reveals = Hashtbl.create 8;
+    agree = None;
+    candidate = None;
+  }
+
+let share_bytes (s : Shamir.share) =
+  Repro_util.Encode.to_bytes (fun b -> Shamir.encode b s)
+
+let commit_share (s, nonce) = Hashx.hash ~tag:"coin-share" [ share_bytes s; nonce ]
+
+let enc_pair b (s, nonce) =
+  Shamir.encode b s;
+  Repro_util.Encode.bytes b nonce
+
+let dec_pair src =
+  let s = Shamir.decode src in
+  let nonce = Repro_util.Encode.r_bytes src in
+  (s, nonce)
+
+let enc_deal b ~mine ~commits =
+  Repro_util.Encode.array b enc_pair mine;
+  Repro_util.Encode.array b (fun b row -> Repro_util.Encode.array b Repro_util.Encode.bytes row) commits
+
+let dec_deal src =
+  let mine = Repro_util.Encode.r_array src dec_pair in
+  let commits =
+    Repro_util.Encode.r_array src (fun src -> Repro_util.Encode.r_array src Repro_util.Encode.r_bytes)
+  in
+  (mine, commits)
+
+let member_pos t src =
+  let rec go i = if i >= t.m then None else if t.members.(i) = src then Some i else go (i + 1) in
+  go 0
+
+let deal_ok t (mine : (Shamir.share * bytes) array) commits =
+  Array.length mine = k_elements
+  && Array.length commits = t.m
+  && Array.for_all (fun row -> Array.length row = k_elements) commits
+  && Array.for_all2
+       (fun pair c -> Bytes.equal (commit_share pair) c)
+       mine
+       commits.(t.my_pos)
+  && Array.for_all (fun (s, _) -> Field.to_int s.Shamir.x = t.my_pos + 1) mine
+
+(* --- sending --- *)
+
+let m_send t ~round =
+  if round = 0 then begin
+    (* Deal: k independent Shamir sharings of fresh random elements. *)
+    let sharings =
+      Array.init k_elements (fun _ ->
+          let secret = Field.random t.rng in
+          Array.of_list
+            (Shamir.share t.rng ~secret ~threshold:t.t_corrupt ~num_shares:t.m))
+    in
+    let per_member =
+      Array.init t.m (fun j ->
+          Array.init k_elements (fun e ->
+              (sharings.(e).(j), Repro_util.Rng.bytes t.rng Hashx.kappa_bytes)))
+    in
+    let commits = Array.map (fun pairs -> Array.map commit_share pairs) per_member in
+    t.my_deal_private <- per_member;
+    t.my_deal_commits <- commits;
+    Array.to_list
+      (Array.mapi
+         (fun j q ->
+           (q, Repro_util.Encode.to_bytes (fun b -> enc_deal b ~mine:per_member.(j) ~commits)))
+         t.members)
+    |> List.filter (fun (q, _) -> q <> t.me)
+  end
+  else if round = 1 then begin
+    (* Complaints: bit per dealer position. *)
+    let bits = Repro_util.Bitset.create t.m in
+    Array.iteri
+      (fun j dealer ->
+        if dealer <> t.me then
+          match Hashtbl.find_opt t.deals dealer with
+          | Some _ -> ()
+          | None -> Repro_util.Bitset.set bits j)
+      t.members;
+    let payload = Repro_util.Encode.to_bytes (fun b -> Repro_util.Bitset.encode b bits) in
+    Array.to_list t.members
+    |> List.filter (fun q -> q <> t.me)
+    |> List.map (fun q -> (q, payload))
+  end
+  else if round = 2 then begin
+    (* Reveal shares of locally qualified dealers. *)
+    let qualified =
+      Array.to_list t.members
+      |> List.filter (fun dealer ->
+             let c = try Hashtbl.find t.complaints dealer with Not_found -> 0 in
+             c <= t.t_corrupt
+             && (dealer = t.me || Hashtbl.mem t.deals dealer))
+    in
+    let entries =
+      List.filter_map
+        (fun dealer ->
+          if dealer = t.me then Some (dealer, t.my_deal_private.(t.my_pos))
+          else
+            match Hashtbl.find_opt t.deals dealer with
+            | Some d -> Some (dealer, d.d_shares)
+            | None -> None)
+        qualified
+    in
+    let payload =
+      Repro_util.Encode.to_bytes (fun b ->
+          Repro_util.Encode.list b
+            (fun b (dealer, pairs) ->
+              Repro_util.Encode.varint b dealer;
+              Repro_util.Encode.array b enc_pair pairs)
+            entries)
+    in
+    Array.to_list t.members
+    |> List.filter (fun q -> q <> t.me)
+    |> List.map (fun q -> (q, payload))
+  end
+  else
+    match t.agree with
+    | Some a -> Committee.m_send a ~round:(round - 3)
+    | None -> []
+
+(* --- receiving --- *)
+
+let note_complaint t dealer = Hashtbl.replace t.complaints dealer (1 + try Hashtbl.find t.complaints dealer with Not_found -> 0)
+
+let m_recv t ~round msgs =
+  if round = 0 then begin
+    List.iter
+      (fun (src, payload) ->
+        match member_pos t src with
+        | None -> ()
+        | Some _ -> (
+          match Repro_util.Encode.decode payload (fun s -> dec_deal s) with
+          | Some (mine, commits) when deal_ok t mine commits ->
+            Hashtbl.replace t.deals src { d_shares = mine; d_commits = commits }
+          | _ -> ()))
+      msgs;
+    (* My own deal to myself. *)
+    Hashtbl.replace t.deals t.me
+      { d_shares = t.my_deal_private.(t.my_pos); d_commits = t.my_deal_commits }
+  end
+  else if round = 1 then begin
+    (* Count complaints (my own included). *)
+    Array.iter
+      (fun dealer -> if dealer <> t.me && not (Hashtbl.mem t.deals dealer) then note_complaint t dealer)
+      t.members;
+    List.iter
+      (fun (src, payload) ->
+        match member_pos t src with
+        | None -> ()
+        | Some _ -> (
+          match Repro_util.Encode.decode payload Repro_util.Bitset.decode with
+          | Some bits when Repro_util.Bitset.length bits = t.m ->
+            Array.iteri
+              (fun j dealer -> if Repro_util.Bitset.mem bits j then note_complaint t dealer)
+              t.members
+          | _ -> ()))
+      msgs
+  end
+  else if round = 2 then begin
+    (* Gather reveals; add my own. *)
+    let add_reveal pos (dealer, pairs) =
+      if Array.length pairs = k_elements then
+        Hashtbl.replace t.reveals dealer
+          ((pos, pairs) :: (try Hashtbl.find t.reveals dealer with Not_found -> []))
+    in
+    (match Hashtbl.find_opt t.deals t.me with
+    | Some _ -> add_reveal t.my_pos (t.me, t.my_deal_private.(t.my_pos))
+    | None -> ());
+    Array.iter
+      (fun dealer ->
+        if dealer <> t.me then
+          match Hashtbl.find_opt t.deals dealer with
+          | Some d -> add_reveal t.my_pos (dealer, d.d_shares)
+          | None -> ())
+      t.members;
+    List.iter
+      (fun (src, payload) ->
+        match member_pos t src with
+        | None -> ()
+        | Some pos -> (
+          match
+            Repro_util.Encode.decode payload (fun s ->
+                Repro_util.Encode.r_list s (fun s ->
+                    let dealer = Repro_util.Encode.r_varint s in
+                    let pairs = Repro_util.Encode.r_array s dec_pair in
+                    (dealer, pairs)))
+          with
+          | Some entries -> List.iter (add_reveal pos) entries
+          | None -> ()))
+      msgs;
+    (* Reconstruct qualified dealers' secrets and form the candidate coin. *)
+    let sums = Array.make k_elements Field.zero in
+    let contributed = ref [] in
+    Array.iter
+      (fun dealer ->
+        let complaints = try Hashtbl.find t.complaints dealer with Not_found -> 0 in
+        match Hashtbl.find_opt t.deals dealer with
+        | Some d when complaints <= t.t_corrupt -> (
+          (* per element, collect commitment-verified shares *)
+          let element_values =
+            Array.init k_elements (fun e ->
+                let verified =
+                  List.filter_map
+                    (fun (pos, pairs) ->
+                      let ((s, _) as pair) = pairs.(e) in
+                      if
+                        Field.to_int s.Shamir.x = pos + 1
+                        && Bytes.equal (commit_share pair) d.d_commits.(pos).(e)
+                      then Some s
+                      else None)
+                    (try Hashtbl.find t.reveals dealer with Not_found -> [])
+                  |> List.sort_uniq compare
+                in
+                if List.length verified >= t.t_corrupt + 1 then
+                  Some (Shamir.reconstruct (List.filteri (fun i _ -> i <= t.t_corrupt) verified))
+                else None)
+          in
+          if Array.for_all Option.is_some element_values then begin
+            Array.iteri (fun e v -> sums.(e) <- Field.add sums.(e) (Option.get v)) element_values;
+            contributed := dealer :: !contributed
+          end)
+        | _ -> ())
+      t.members;
+    let candidate =
+      Hashx.hash ~tag:"coin-candidate"
+        (Array.to_list
+           (Array.map (fun v -> Bytes.of_string (string_of_int (Field.to_int v))) sums))
+    in
+    t.candidate <- Some candidate;
+    t.agree <-
+      Some
+        (Committee.create ~members:(Array.to_list t.members) ~me:t.me ~candidate ())
+  end
+  else
+    match t.agree with
+    | Some a -> Committee.m_recv a ~round:(round - 3) msgs
+    | None -> ()
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+(* Final coin: the agreed candidate. *)
+let output t =
+  match t.agree with
+  | Some a -> (
+    match Committee.output a with
+    | Some (Some coin) -> Some coin
+    | Some None -> t.candidate (* degenerate fallback; tested not to occur for good committees *)
+    | None -> None)
+  | None -> None

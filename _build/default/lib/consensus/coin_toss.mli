@@ -1,0 +1,16 @@
+(** Committee coin tossing (f_ct, after Chor et al.): Shamir sharing with
+    hash-commitment VSS, complaint-based qualification, reveal and
+    reconstruction, then byte-exact agreement via {!Committee}. Unbiased
+    against rushing adversaries controlling < 1/3 of the committee. *)
+
+type t
+
+val k_elements : int
+val rounds : members:int list -> int
+val create : members:int list -> me:int -> rng:Repro_util.Rng.t -> t
+val machine : t -> Repro_net.Engine.machine
+val m_send : t -> round:int -> (int * bytes) list
+val m_recv : t -> round:int -> (int * bytes) list -> unit
+
+val output : t -> bytes option
+(** The agreed kappa-byte coin, once the machine has run [rounds] rounds. *)

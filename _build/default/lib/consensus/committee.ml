@@ -1,0 +1,75 @@
+(* Committee agreement on a *payload*: broadcast candidates once, agree on a
+   candidate digest with multivalued BA, then adopt the payload matching the
+   agreed digest.
+
+   Multi_ba guarantees the agreed digest is some honest member's input
+   digest; that member broadcast the corresponding payload to the whole
+   committee in round 0 over authenticated channels, so every honest member
+   holds the winning payload — no fetch round is needed.
+
+   This combinator realizes the agreement core of both f_ct (agree on the
+   reconstructed coin) and f_aggr-sig (agree on the aggregated signature)
+   within good tree nodes, at digest-size BA cost plus one payload
+   broadcast. An optional [valid] predicate lets callers reject adopted
+   payloads that fail protocol-specific checks (external validity). *)
+
+type t = {
+  members : int array;
+  me : int;
+  candidate : bytes;
+  valid : bytes -> bool;
+  known : (string, bytes) Hashtbl.t; (* digest -> payload *)
+  ba : Multi_ba.t;
+  mutable output : bytes option option; (* None until decided *)
+}
+
+let digest payload = Repro_crypto.Hashx.hash ~tag:"committee-agree" [ payload ]
+
+let pre_rounds = 1
+
+let rounds ~members = pre_rounds + Multi_ba.rounds ~members
+
+let create ~members ~me ~candidate ?(valid = fun _ -> true) () =
+  let members_arr = Array.of_list (List.sort_uniq compare members) in
+  let known = Hashtbl.create 8 in
+  Hashtbl.replace known (Bytes.to_string (digest candidate)) candidate;
+  {
+    members = members_arr;
+    me;
+    candidate;
+    valid;
+    known;
+    ba = Multi_ba.create ~members ~me ~input:(digest candidate);
+    output = None;
+  }
+
+let peers t =
+  Array.to_list (Array.of_seq (Seq.filter (fun p -> p <> t.me) (Array.to_seq t.members)))
+
+let m_send t ~round =
+  if round = 0 then List.map (fun p -> (p, t.candidate)) (peers t)
+  else Multi_ba.m_send t.ba ~round:(round - pre_rounds)
+
+let m_recv t ~round msgs =
+  if round = 0 then
+    List.iter
+      (fun (src, payload) ->
+        if Array.exists (fun q -> q = src) t.members then
+          Hashtbl.replace t.known (Bytes.to_string (digest payload)) payload)
+      msgs
+  else begin
+    Multi_ba.m_recv t.ba ~round:(round - pre_rounds) msgs;
+    match Multi_ba.output t.ba with
+    | None -> ()
+    | Some None -> t.output <- Some None
+    | Some (Some d) -> (
+      match Hashtbl.find_opt t.known (Bytes.to_string d) with
+      | Some payload when t.valid payload -> t.output <- Some (Some payload)
+      | _ -> t.output <- Some None)
+  end
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output t = t.output

@@ -1,0 +1,22 @@
+(** Committee agreement on a payload: one candidate broadcast + multivalued
+    BA on digests. The agreed payload is always some honest member's
+    candidate (or [None]); all honest members adopt the same result. *)
+
+type t
+
+val rounds : members:int list -> int
+
+val create :
+  members:int list ->
+  me:int ->
+  candidate:bytes ->
+  ?valid:(bytes -> bool) ->
+  unit ->
+  t
+
+val machine : t -> Repro_net.Engine.machine
+val m_send : t -> round:int -> (int * bytes) list
+val m_recv : t -> round:int -> (int * bytes) list -> unit
+
+val output : t -> bytes option option
+(** [None] until decided; then [Some (Some payload)] or [Some None]. *)

@@ -1,0 +1,144 @@
+(* Dolev–Strong authenticated broadcast: t+1 rounds, tolerates any t < m
+   corruptions given a signature PKI. Used by the broadcast corollary
+   (paper Cor. 1.2 comparison) and as a baseline primitive.
+
+   A value is *accepted* at round r if it carries valid signatures from r+1
+   distinct parties, the first being the designated sender. On accepting a
+   new value a party appends its own signature and relays to everyone.
+   After t+1 rounds: output the unique accepted value, or the default if
+   none or several were accepted.
+
+   Signatures are Merkle (many-time) signatures — each relay consumes one
+   WOTS leaf of the relayer's key. *)
+
+module Mss = Repro_crypto.Mss
+module Hashx = Repro_crypto.Hashx
+
+type pki = {
+  vks : Mss.verification_key array; (* indexed by party id *)
+  sk : Mss.secret_key; (* my key *)
+}
+
+type t = {
+  members : int array;
+  me : int;
+  sender : int;
+  t_corrupt : int;
+  pki : pki;
+  input : bytes option; (* Some v iff me = sender *)
+  accepted : (string, unit) Hashtbl.t; (* accepted values *)
+  mutable to_relay : (bytes * (int * Mss.signature) list) list;
+  mutable done_ : bool;
+}
+
+let rounds ~members =
+  (* t+1 relay rounds with t = m - 1 tolerated is overkill; we follow the
+     committee convention t < m/3 used across this library. *)
+  Phase_king.max_corrupt (List.length members) + 2
+
+let create ~members ~me ~sender ~pki ~input =
+  let members = Array.of_list (List.sort_uniq compare members) in
+  {
+    members;
+    me;
+    sender;
+    t_corrupt = Phase_king.max_corrupt (Array.length members);
+    pki;
+    input = (if me = sender then Some input else None);
+    accepted = Hashtbl.create 4;
+    to_relay = [];
+    done_ = false;
+  }
+
+let value_digest v = Hashx.hash ~tag:"dolev-strong" [ v ]
+
+let enc_msg b (v, chain) =
+  Repro_util.Encode.bytes b v;
+  Repro_util.Encode.list b
+    (fun b (signer, sg) ->
+      Repro_util.Encode.varint b signer;
+      Mss.encode_signature b sg)
+    chain
+
+let dec_msg src =
+  let v = Repro_util.Encode.r_bytes src in
+  let chain =
+    Repro_util.Encode.r_list src (fun src ->
+        let signer = Repro_util.Encode.r_varint src in
+        let sg = Mss.decode_signature src in
+        (signer, sg))
+  in
+  (v, chain)
+
+(* A chain is valid at relay depth r if it has r+1 signatures on the value
+   digest, all from distinct members, the first from the sender. *)
+let chain_valid t ~depth (v, chain) =
+  let d = value_digest v in
+  List.length chain = depth + 1
+  && (match chain with (s0, _) :: _ -> s0 = t.sender | [] -> false)
+  && List.length (List.sort_uniq compare (List.map fst chain)) = List.length chain
+  && List.for_all
+       (fun (signer, sg) ->
+         signer >= 0
+         && signer < Array.length t.pki.vks
+         && Array.exists (fun q -> q = signer) t.members
+         && Mss.verify t.pki.vks.(signer) d sg)
+       chain
+
+let peers t =
+  Array.to_list (Array.of_seq (Seq.filter (fun p -> p <> t.me) (Array.to_seq t.members)))
+
+let m_send t ~round =
+  if round = 0 then
+    match t.input with
+    | Some v ->
+      Hashtbl.replace t.accepted (Bytes.to_string v) ();
+      let sg = Mss.sign t.pki.sk (value_digest v) in
+      let payload = Repro_util.Encode.to_bytes (fun b -> enc_msg b (v, [ (t.me, sg) ])) in
+      List.map (fun p -> (p, payload)) (peers t)
+    | None -> []
+  else begin
+    let out =
+      List.concat_map
+        (fun (v, chain) ->
+          let sg = Mss.sign t.pki.sk (value_digest v) in
+          let payload =
+            Repro_util.Encode.to_bytes (fun b -> enc_msg b (v, chain @ [ (t.me, sg) ]))
+          in
+          List.map (fun p -> (p, payload)) (peers t))
+        t.to_relay
+    in
+    t.to_relay <- [];
+    out
+  end
+
+let m_recv t ~round msgs =
+  let depth = round in
+  List.iter
+    (fun (_src, payload) ->
+      match Repro_util.Encode.decode payload dec_msg with
+      | Some (v, chain) when chain_valid t ~depth (v, chain) ->
+        let key = Bytes.to_string v in
+        if not (Hashtbl.mem t.accepted key) then begin
+          Hashtbl.replace t.accepted key ();
+          (* Relay only while further rounds remain and I haven't signed. *)
+          if
+            depth + 1 < rounds ~members:(Array.to_list t.members)
+            && not (List.exists (fun (s, _) -> s = t.me) chain)
+            && Mss.signatures_remaining t.pki.sk > 0
+          then t.to_relay <- (v, chain) :: t.to_relay
+        end
+      | _ -> ())
+    msgs;
+  if depth = rounds ~members:(Array.to_list t.members) - 1 then t.done_ <- true
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output ?(default = Bytes.empty) t =
+  if not t.done_ then None
+  else
+    match Hashtbl.fold (fun k () acc -> k :: acc) t.accepted [] with
+    | [ v ] -> Some (Bytes.of_string v)
+    | _ -> Some default

@@ -1,0 +1,127 @@
+(* Gradecast (graded broadcast, Feldman–Micali): a 3-round primitive that
+   King et al.'s scalable election builds on, tolerating t < m/3.
+
+   The sender distributes a value; every member outputs a (value, grade)
+   pair with grade in {0, 1, 2} such that:
+
+   - if the sender is honest, every honest member outputs (v, 2);
+   - honest members' grades differ by at most 1;
+   - any two honest members with grade >= 1 hold the same value.
+
+   Rounds: 0 = sender distributes; 1 = members echo what they received;
+   2 = members vote for any value echoed by >= m - t members; then grade
+   by the vote count (>= m - t: grade 2; >= t + 1: grade 1; else 0). *)
+
+type grade = G0 | G1 | G2
+
+let grade_to_int = function G0 -> 0 | G1 -> 1 | G2 -> 2
+
+type t = {
+  members : int array;
+  me : int;
+  m : int;
+  t_corrupt : int;
+  sender : int;
+  input : bytes option; (* Some v iff me = sender *)
+  mutable received : bytes option; (* from the sender *)
+  mutable echo_winner : bytes option;
+  mutable output : (bytes option * grade) option;
+}
+
+let rounds = 3
+
+let create ~members ~me ~sender ~input =
+  let members = Array.of_list (List.sort_uniq compare members) in
+  let m = Array.length members in
+  {
+    members;
+    me;
+    m;
+    t_corrupt = Phase_king.max_corrupt m;
+    sender;
+    input = (if me = sender then Some input else None);
+    received = None;
+    echo_winner = None;
+    output = None;
+  }
+
+let peers t =
+  Array.to_list (Array.of_seq (Seq.filter (fun p -> p <> t.me) (Array.to_seq t.members)))
+
+let enc v =
+  Repro_util.Encode.to_bytes (fun b ->
+      Repro_util.Encode.option b Repro_util.Encode.bytes v)
+
+let dec payload =
+  match
+    Repro_util.Encode.decode payload (fun src ->
+        Repro_util.Encode.r_option src Repro_util.Encode.r_bytes)
+  with
+  | Some v -> v
+  | None -> None
+
+(* Count distinct members' values; own contribution included. *)
+let tally t own msgs =
+  let seen = Hashtbl.create t.m in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create t.m in
+  let bump = function
+    | None -> ()
+    | Some v ->
+      let k = Bytes.to_string v in
+      Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0)
+  in
+  bump own;
+  List.iter
+    (fun (src, payload) ->
+      if src <> t.me && Array.exists (fun q -> q = src) t.members && not (Hashtbl.mem seen src)
+      then begin
+        Hashtbl.add seen src ();
+        bump (dec payload)
+      end)
+    msgs;
+  counts
+
+let m_send t ~round =
+  if round = 0 then
+    if t.me = t.sender then
+      List.map (fun p -> (p, enc t.input)) (peers t)
+    else []
+  else if round = 1 then List.map (fun p -> (p, enc t.received)) (peers t)
+  else List.map (fun p -> (p, enc t.echo_winner)) (peers t)
+
+let m_recv t ~round msgs =
+  if round = 0 then begin
+    (match t.input with Some v -> t.received <- Some v | None -> ());
+    List.iter
+      (fun (src, payload) -> if src = t.sender then t.received <- dec payload)
+      msgs
+  end
+  else if round = 1 then begin
+    let counts = tally t t.received msgs in
+    t.echo_winner <-
+      Hashtbl.fold
+        (fun k c acc -> if c >= t.m - t.t_corrupt then Some (Bytes.of_string k) else acc)
+        counts None
+  end
+  else begin
+    let counts = tally t t.echo_winner msgs in
+    let best =
+      Hashtbl.fold
+        (fun k c acc ->
+          match acc with
+          | Some (_, c') when c' >= c -> acc
+          | _ -> Some (k, c))
+        counts None
+    in
+    t.output <-
+      (match best with
+      | Some (k, c) when c >= t.m - t.t_corrupt -> Some (Some (Bytes.of_string k), G2)
+      | Some (k, c) when c >= t.t_corrupt + 1 -> Some (Some (Bytes.of_string k), G1)
+      | _ -> Some (None, G0))
+  end
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output t = t.output

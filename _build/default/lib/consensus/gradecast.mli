@@ -1,0 +1,18 @@
+(** Gradecast (Feldman–Micali graded broadcast), t < m/3, 3 rounds.
+    Honest sender: everyone outputs (v, G2); honest grades differ by at
+    most one level; grade >= G1 implies a common value. *)
+
+type grade = G0 | G1 | G2
+
+val grade_to_int : grade -> int
+
+type t
+
+val rounds : int
+val create : members:int list -> me:int -> sender:int -> input:bytes -> t
+val machine : t -> Repro_net.Engine.machine
+val m_send : t -> round:int -> (int * bytes) list
+val m_recv : t -> round:int -> (int * bytes) list -> unit
+
+val output : t -> (bytes option * grade) option
+(** [None] before round 3 completes. *)

@@ -1,0 +1,159 @@
+(* Honest-majority MPC for XOR-linear functions over a committee — the
+   Damgård–Ishai-flavoured realization of f_aggr-sig the paper sketches
+   ("the computation of Aggregate2 in the BA construction will be carried
+   out using an MPC protocol").
+
+   Our SRDS instantiations have deterministic Aggregate2, so the pipeline
+   realizes f_aggr-sig by agreement alone (lib/core/aggr_sig.ml). This
+   module covers the general case for the class of XOR-homomorphic
+   aggregators (which includes the multisignature baseline's tag
+   combination): each member additively (XOR-) shares its input among the
+   committee, members locally XOR the shares they hold, and the sums are
+   reconstructed — the output is the XOR of all inputs while no coalition
+   of fewer than m - 1 members learns anything about an honest input
+   beyond the output.
+
+   Rounds:  0  share distribution (private point-to-point)
+            1  partial-sum broadcast
+            2  local reconstruction
+
+   Security with abort (documented, tested): additive n-of-n sharing means
+   every member's partial sum is needed for reconstruction — a member that
+   withholds it (or equivocates, and is voted down by the per-member
+   majority) forces an *abort* (output None) rather than a wrong value.
+   This identifiable-abort flavour is the standard guarantee for additive
+   sharing; the paper's pipeline tolerates it because f_aggr-sig aborts are
+   caught by the enclosing agreement + SRDS validity checks (a node that
+   aborts simply contributes nothing, like a bad node in Fig. 1). One
+   residual hole remains inherent to the sharing: a corrupt *dealer* that
+   distributes its shares selectively garbles the output rather than
+   aborting — such garbage is rejected downstream by SRDS verification.
+   test_consensus exercises correctness, privacy shape, and the abort. *)
+
+module Rng = Repro_util.Rng
+
+type t = {
+  members : int array;
+  me : int;
+  m : int;
+  width : int; (* byte width of the XOR group *)
+  rng : Rng.t;
+  input : bytes;
+  my_shares : bytes array; (* share j for member j *)
+  received_shares : (int, bytes) Hashtbl.t; (* from member -> my share *)
+  partial_sums : (int, bytes list) Hashtbl.t; (* member -> partial sums seen *)
+  mutable output : bytes option;
+}
+
+let rounds = 3
+
+let xor_into acc b =
+  for i = 0 to Bytes.length acc - 1 do
+    Bytes.set acc i
+      (Char.chr (Char.code (Bytes.get acc i) lxor Char.code (Bytes.get b i)))
+  done
+
+let create ~members ~me ~input ~width ~rng =
+  let members = Array.of_list (List.sort_uniq compare members) in
+  let m = Array.length members in
+  if Bytes.length input <> width then invalid_arg "Mpc_xor.create: width";
+  (* additive sharing: m-1 random shares, last = input XOR others *)
+  let shares = Array.init m (fun _ -> Rng.bytes rng width) in
+  let last = Bytes.copy input in
+  for j = 0 to m - 2 do
+    xor_into last shares.(j)
+  done;
+  shares.(m - 1) <- last;
+  {
+    members;
+    me;
+    m;
+    width;
+    rng;
+    input;
+    my_shares = shares;
+    received_shares = Hashtbl.create 8;
+    partial_sums = Hashtbl.create 8;
+    output = None;
+  }
+
+let pos_of t p =
+  let rec go i = if i >= t.m then None else if t.members.(i) = p then Some i else go (i + 1) in
+  go 0
+
+let m_send t ~round =
+  if round = 0 then
+    (* distribute shares privately; my own share kept locally *)
+    Array.to_list t.members
+    |> List.filter (fun q -> q <> t.me)
+    |> List.map (fun q ->
+           let j = Option.get (pos_of t q) in
+           (q, t.my_shares.(j)))
+  else if round = 1 then begin
+    (* broadcast my partial sum: XOR of all shares I hold *)
+    let acc = Bytes.make t.width '\000' in
+    (match pos_of t t.me with
+    | Some j -> xor_into acc t.my_shares.(j)
+    | None -> ());
+    Hashtbl.iter (fun _ share -> if Bytes.length share = t.width then xor_into acc share) t.received_shares;
+    Array.to_list t.members
+    |> List.filter (fun q -> q <> t.me)
+    |> List.map (fun q -> (q, acc))
+  end
+  else []
+
+let majority_bytes values =
+  let groups : (bytes * int ref) list ref = ref [] in
+  List.iter
+    (fun v ->
+      match List.find_opt (fun (r, _) -> r == v || Bytes.equal r v) !groups with
+      | Some (_, c) -> incr c
+      | None -> groups := (v, ref 1) :: !groups)
+    values;
+  match !groups with
+  | [] -> None
+  | g :: gs ->
+    let best, bc = List.fold_left (fun (bv, bc) (v, c) -> if !c > !bc then (v, c) else (bv, bc)) (fst g, snd g) gs in
+    if !bc * 2 > List.length values then Some best else None
+
+let m_recv t ~round msgs =
+  if round = 0 then
+    List.iter
+      (fun (src, payload) ->
+        if Array.exists (fun q -> q = src) t.members && Bytes.length payload = t.width
+        then Hashtbl.replace t.received_shares src payload)
+      msgs
+  else if round = 1 then begin
+    List.iter
+      (fun (src, payload) ->
+        if Array.exists (fun q -> q = src) t.members && Bytes.length payload = t.width
+        then
+          Hashtbl.replace t.partial_sums src
+            (payload :: (try Hashtbl.find t.partial_sums src with Not_found -> [])))
+      msgs;
+    (* my own partial sum *)
+    let acc = Bytes.make t.width '\000' in
+    (match pos_of t t.me with
+    | Some j -> xor_into acc t.my_shares.(j)
+    | None -> ());
+    Hashtbl.iter (fun _ share -> if Bytes.length share = t.width then xor_into acc share) t.received_shares;
+    Hashtbl.replace t.partial_sums t.me
+      (acc :: (try Hashtbl.find t.partial_sums t.me with Not_found -> []));
+    (* reconstruct: XOR of every member's (majority) partial sum; any
+       missing partial means some shares are unrecoverable -> abort *)
+    let out = Bytes.make t.width '\000' in
+    let complete = ref true in
+    Array.iter
+      (fun q ->
+        match majority_bytes (try Hashtbl.find t.partial_sums q with Not_found -> []) with
+        | Some ps -> xor_into out ps
+        | None -> complete := false)
+      t.members;
+    t.output <- (if !complete then Some out else None)
+  end
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output t = t.output

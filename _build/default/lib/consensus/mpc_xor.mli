@@ -1,0 +1,22 @@
+(** Honest-majority MPC for XOR-linear aggregation (the Damgård–Ishai-style
+    f_aggr-sig realization for randomized/private Aggregate2 instances).
+    Additive XOR sharing + partial-sum reconstruction; privacy against any
+    coalition smaller than the full committee; see the .ml header for the
+    robustness boundary and how the pipeline composes it with agreement. *)
+
+type t
+
+val rounds : int
+
+val create :
+  members:int list -> me:int -> input:bytes -> width:int ->
+  rng:Repro_util.Rng.t -> t
+(** [input] must be exactly [width] bytes. *)
+
+val machine : t -> Repro_net.Engine.machine
+val m_send : t -> round:int -> (int * bytes) list
+val m_recv : t -> round:int -> (int * bytes) list -> unit
+
+val output : t -> bytes option
+(** XOR of all members' inputs after [rounds] rounds, or [None] on abort
+    (some member withheld or equivocated its partial sum). *)

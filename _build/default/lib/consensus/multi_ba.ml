@@ -1,0 +1,145 @@
+(* Multivalued Byzantine agreement via the Turpin–Coan reduction (t < m/3)
+   on top of binary phase-king.
+
+   Two pre-rounds:
+     round 0: broadcast the input value v.
+     round 1: broadcast x = the (unique) value with round-0 support >= m - t,
+              or bot. Then let y be the most supported non-bot round-1 value,
+              c its support; vote 0 ("confident") in the binary BA iff
+              c >= m - t, and remember y as the alternative if c >= t + 1.
+   Then binary phase-king on the confidence bit; decide the alternative if
+   the bit agreement outputs 0 (confident), otherwise decide None.
+
+   Guarantees (classic): agreement always; if all honest inputs equal v the
+   output is v; the output is either some honest member's input or None.
+   That last property is what {!Committee.agree} exploits: an agreed-on
+   value was broadcast by an honest member, so every honest member holds it. *)
+
+type t = {
+  members : int array;
+  me : int;
+  m : int;
+  t_corrupt : int;
+  input : bytes;
+  mutable x : bytes option; (* round-1 broadcast value *)
+  mutable alternative : bytes option;
+  pk : Phase_king.t option ref; (* created after round 1 *)
+  mutable decided : bool; (* completion flag *)
+  mutable output : bytes option;
+}
+
+let pre_rounds = 2
+
+let rounds ~members = pre_rounds + Phase_king.rounds ~members
+
+let create ~members ~me ~input =
+  let members_arr = Array.of_list (List.sort_uniq compare members) in
+  {
+    members = members_arr;
+    me;
+    m = Array.length members_arr;
+    t_corrupt = Phase_king.max_corrupt (Array.length members_arr);
+    input;
+    x = None;
+    alternative = None;
+    pk = ref None;
+    decided = false;
+    output = None;
+  }
+
+let peers t =
+  Array.to_list (Array.of_seq (Seq.filter (fun p -> p <> t.me) (Array.to_seq t.members)))
+
+let enc_opt v =
+  Repro_util.Encode.to_bytes (fun b ->
+      Repro_util.Encode.option b Repro_util.Encode.bytes v)
+
+let dec_opt payload =
+  match
+    Repro_util.Encode.decode payload (fun src ->
+        Repro_util.Encode.r_option src Repro_util.Encode.r_bytes)
+  with
+  | Some v -> v
+  | None -> None
+
+(* Tally distinct members' byte values (own value included). *)
+let tally t own msgs =
+  let seen = Hashtbl.create t.m in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create t.m in
+  let bump = function
+    | None -> ()
+    | Some v ->
+      let k = Bytes.to_string v in
+      Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0)
+  in
+  bump own;
+  List.iter
+    (fun (src, payload) ->
+      if src <> t.me && Array.exists (fun q -> q = src) t.members && not (Hashtbl.mem seen src)
+      then begin
+        Hashtbl.add seen src ();
+        bump (dec_opt payload)
+      end)
+    msgs;
+  counts
+
+let best counts =
+  Hashtbl.fold
+    (fun k c acc ->
+      match acc with
+      | Some (_, c') when c' > c -> acc
+      | Some (k', c') when c' = c && k' <= k -> acc (* deterministic tie-break *)
+      | _ -> Some (k, c))
+    counts None
+
+let m_send t ~round =
+  if t.decided then [] (* instance finished; co-scheduled larger instances may still run *)
+  else if round = 0 then List.map (fun p -> (p, enc_opt (Some t.input))) (peers t)
+  else if round = 1 then List.map (fun p -> (p, enc_opt t.x)) (peers t)
+  else
+    match !(t.pk) with
+    | Some pk -> Phase_king.m_send pk ~round:(round - pre_rounds)
+    | None -> []
+
+let m_recv t ~round msgs =
+  if round = 0 then begin
+    let counts = tally t (Some t.input) msgs in
+    t.x <-
+      Hashtbl.fold
+        (fun k c acc -> if c >= t.m - t.t_corrupt then Some (Bytes.of_string k) else acc)
+        counts None
+  end
+  else if round = 1 then begin
+    let counts = tally t t.x msgs in
+    let confident =
+      match best counts with
+      | Some (k, c) ->
+        if c >= t.t_corrupt + 1 then t.alternative <- Some (Bytes.of_string k);
+        c >= t.m - t.t_corrupt
+      | None -> false
+    in
+    (* binary BA input: true = "not confident / fall back to None" *)
+    t.pk :=
+      Some
+        (Phase_king.create
+           ~members:(Array.to_list t.members)
+           ~me:t.me ~input:(not confident))
+  end
+  else if not t.decided then begin
+    (match !(t.pk) with
+    | Some pk -> Phase_king.m_recv pk ~round:(round - pre_rounds) msgs
+    | None -> ());
+    if round = rounds ~members:(Array.to_list t.members) - 1 then begin
+      t.decided <- true;
+      t.output <-
+        (match !(t.pk) with
+        | Some pk when Phase_king.output pk = Some false -> t.alternative
+        | _ -> None)
+    end
+  end
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output t = if t.decided then Some t.output else None

@@ -1,0 +1,17 @@
+(** Multivalued Byzantine agreement: Turpin–Coan reduction (2 rounds) on top
+    of binary phase-king, t < m/3. Output is either some honest member's
+    input (always equal across honest members) or [None]; if all honest
+    inputs coincide the output is that value. *)
+
+type t
+
+val rounds : members:int list -> int
+val create : members:int list -> me:int -> input:bytes -> t
+val machine : t -> Repro_net.Engine.machine
+
+val m_send : t -> round:int -> (int * bytes) list
+val m_recv : t -> round:int -> (int * bytes) list -> unit
+
+val output : t -> bytes option option
+(** [None] before completion; [Some None] = agreed fallback;
+    [Some (Some v)] = agreed value. *)

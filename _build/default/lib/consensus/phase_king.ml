@@ -1,0 +1,141 @@
+(* Binary Byzantine agreement: the Berman–Garay–Perry "phase king" protocol,
+   tolerating t < m/3 corruptions among m members in (t+1) phases of 3
+   rounds each, deterministic, no setup.
+
+   This stands in for the Garay–Moses f_ba realization inside polylog-size
+   committees (paper Sec. 3.1): same model (unauthenticated channels,
+   t < n/3, O(t) rounds, polynomial — here O(m^2) bits/phase — total
+   communication), which is all Fig. 3 needs since committees are polylog.
+
+   Domain: bits plus bot (encoded 0/1/2). Each phase:
+     round 1: broadcast v; if some w in {0,1} has count >= m - t, v := w,
+              else v := bot.
+     round 2: broadcast v; w* := majority value in {0,1}, d := its count.
+     round 3: the phase king broadcasts its w*; members with d < m - t adopt
+              the king's value (bot coerced to 0), others keep w*.
+
+   Standard argument: all honest non-bot values after round 1 coincide, so
+   if any honest member sees d >= m - t for w then every honest member's
+   count of the other bit is <= t, making the honest king's w* = w; one
+   honest king phase therefore establishes agreement, which persists. *)
+
+type value = Zero | One | Bot
+
+let value_to_byte = function Zero -> 0 | One -> 1 | Bot -> 2
+let value_of_byte = function 0 -> Some Zero | 1 -> Some One | _ -> Some Bot
+
+let value_of_bool b = if b then One else Zero
+
+let to_bool = function One -> Some true | Zero -> Some false | Bot -> None
+
+type t = {
+  members : int array; (* sorted, fixed for the instance *)
+  me : int;
+  m : int;
+  t_corrupt : int;
+  mutable v : value;
+  mutable w_star : value; (* majority bit after round 2 *)
+  mutable d : int; (* its support *)
+  mutable decided : value;
+}
+
+let max_corrupt m = (m - 1) / 3
+
+let phases ~members = max_corrupt (List.length members) + 1
+
+let rounds ~members = 3 * phases ~members
+
+let create ~members ~me ~input =
+  let members = Array.of_list (List.sort_uniq compare members) in
+  let m = Array.length members in
+  if m = 0 then invalid_arg "Phase_king.create: no members";
+  {
+    members;
+    me;
+    m;
+    t_corrupt = max_corrupt m;
+    v = value_of_bool input;
+    w_star = Zero;
+    d = 0;
+    decided = Bot;
+  }
+
+let king t ~phase = t.members.(phase mod t.m)
+
+let peers t = Array.to_list (Array.of_seq (Seq.filter (fun p -> p <> t.me) (Array.to_seq t.members)))
+
+let encode v = Bytes.make 1 (Char.chr (value_to_byte v))
+
+let decode payload =
+  if Bytes.length payload = 1 then value_of_byte (Char.code (Bytes.get payload 0))
+  else None
+
+(* Count each member's vote at most once (first message per source wins);
+   adds the member's own value. *)
+let tally t own msgs =
+  let seen = Hashtbl.create t.m in
+  let zero = ref 0 and one = ref 0 and bot = ref 0 in
+  let bump = function Zero -> incr zero | One -> incr one | Bot -> incr bot in
+  bump own;
+  List.iter
+    (fun (src, payload) ->
+      if src <> t.me && Array.exists (fun q -> q = src) t.members && not (Hashtbl.mem seen src)
+      then begin
+        Hashtbl.add seen src ();
+        match decode payload with Some v -> bump v | None -> ()
+      end)
+    msgs;
+  (!zero, !one, !bot)
+
+let m_send t ~round =
+  let phase = round / 3 and step = round mod 3 in
+  match step with
+  | 0 | 1 -> List.map (fun p -> (p, encode t.v)) (peers t)
+  | _ ->
+    if king t ~phase = t.me then List.map (fun p -> (p, encode t.w_star)) (peers t)
+    else []
+
+let m_recv t ~round msgs =
+  let phase = round / 3 and step = round mod 3 in
+  match step with
+  | 0 ->
+    let zero, one, _ = tally t t.v msgs in
+    t.v <- (if zero >= t.m - t.t_corrupt then Zero
+            else if one >= t.m - t.t_corrupt then One
+            else Bot)
+  | 1 ->
+    let zero, one, _ = tally t t.v msgs in
+    if zero >= one then begin
+      t.w_star <- Zero;
+      t.d <- zero
+    end
+    else begin
+      t.w_star <- One;
+      t.d <- one
+    end
+  | _ ->
+    let king_value =
+      if king t ~phase = t.me then Some t.w_star
+      else
+        List.fold_left
+          (fun acc (src, payload) ->
+            if src = king t ~phase && acc = None then decode payload else acc)
+          None msgs
+    in
+    let adopted =
+      if t.d >= t.m - t.t_corrupt then t.w_star
+      else
+        match king_value with
+        | Some Bot | None -> Zero (* bot coerced: a silent king defaults to 0 *)
+        | Some w -> w
+    in
+    t.v <- adopted;
+    if phase = phases ~members:(Array.to_list t.members) - 1 then t.decided <- t.v
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output t = to_bool t.decided
+
+let output_value t = t.decided

@@ -1,0 +1,143 @@
+(* Bracha reliable broadcast: t < m/3, no signatures, 3 message types.
+
+   Rounds up the committee toolbox: where {!Dolev_strong} gives broadcast
+   *with termination* from a PKI, Bracha's protocol gives the unauthenticated
+   guarantee the echo steps of Fig. 3 implicitly rely on:
+
+   - if the sender is honest, every honest member delivers its value;
+   - if any honest member delivers v, every honest member delivers v
+     (totality + agreement), though possibly a round later.
+
+   Message flow: sender SENDs v; members ECHO the first SEND they see;
+   on >= m - t ECHOes (or >= t + 1 READYs) members send READY; on
+   >= m - t READYs they deliver. Run for [rounds] rounds in the lock-step
+   engine (the classic asynchronous protocol collapses to <= 4 steps in a
+   synchronous network). *)
+
+type phase = SEND | ECHO | READY
+
+let phase_byte = function SEND -> 0 | ECHO -> 1 | READY -> 2
+let phase_of = function 0 -> Some SEND | 1 -> Some ECHO | 2 -> Some READY | _ -> None
+
+type t = {
+  members : int array;
+  me : int;
+  m : int;
+  t_corrupt : int;
+  sender : int;
+  input : bytes option;
+  echo_from : (int, bytes) Hashtbl.t;
+  ready_from : (int, bytes) Hashtbl.t;
+  mutable sent_echo : bool;
+  mutable sent_ready : bool;
+  mutable pending : (phase * bytes) list; (* to emit next round *)
+  mutable delivered : bytes option;
+}
+
+let rounds = 4
+
+let create ~members ~me ~sender ~input =
+  let members = Array.of_list (List.sort_uniq compare members) in
+  let m = Array.length members in
+  {
+    members;
+    me;
+    m;
+    t_corrupt = Phase_king.max_corrupt m;
+    sender;
+    input = (if me = sender then Some input else None);
+    echo_from = Hashtbl.create 8;
+    ready_from = Hashtbl.create 8;
+    sent_echo = false;
+    sent_ready = false;
+    pending = [];
+    delivered = None;
+  }
+
+let peers t =
+  Array.to_list (Array.of_seq (Seq.filter (fun p -> p <> t.me) (Array.to_seq t.members)))
+
+let enc (ph, v) =
+  Repro_util.Encode.to_bytes (fun b ->
+      Repro_util.Encode.u8 b (phase_byte ph);
+      Repro_util.Encode.bytes b v)
+
+let dec payload =
+  Repro_util.Encode.decode payload (fun src ->
+      let ph = Repro_util.Encode.r_u8 src in
+      let v = Repro_util.Encode.r_bytes src in
+      (ph, v))
+  |> fun r ->
+  Option.bind r (fun (ph, v) -> Option.map (fun p -> (p, v)) (phase_of ph))
+
+(* Count distinct members supporting value v in a phase table. *)
+let support tbl v =
+  Hashtbl.fold (fun _ v' acc -> if Bytes.equal v v' then acc + 1 else acc) tbl 0
+
+let values_of tbl =
+  let seen = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ v -> Hashtbl.replace seen (Bytes.to_string v) v)
+    tbl;
+  Hashtbl.fold (fun _ v acc -> v :: acc) seen []
+
+let maybe_progress t =
+  (* ready on enough echoes or enough readys *)
+  List.iter
+    (fun v ->
+      if
+        (not t.sent_ready)
+        && (support t.echo_from v >= t.m - t.t_corrupt
+           || support t.ready_from v >= t.t_corrupt + 1)
+      then begin
+        t.sent_ready <- true;
+        Hashtbl.replace t.ready_from t.me v;
+        t.pending <- (READY, v) :: t.pending
+      end)
+    (values_of t.echo_from @ values_of t.ready_from);
+  (* deliver on a ready quorum *)
+  List.iter
+    (fun v ->
+      if t.delivered = None && support t.ready_from v >= t.m - t.t_corrupt then
+        t.delivered <- Some v)
+    (values_of t.ready_from)
+
+let m_send t ~round =
+  let out = ref [] in
+  if round = 0 && t.me = t.sender then begin
+    match t.input with
+    | Some v ->
+      out := [ (SEND, v) ];
+      (* the sender also echoes its own value *)
+      t.sent_echo <- true;
+      Hashtbl.replace t.echo_from t.me v;
+      out := (ECHO, v) :: !out
+    | None -> ()
+  end;
+  out := t.pending @ !out;
+  t.pending <- [];
+  List.concat_map (fun msg -> List.map (fun p -> (p, enc msg)) (peers t)) !out
+
+let m_recv t ~round msgs =
+  ignore round;
+  List.iter
+    (fun (src, payload) ->
+      if Array.exists (fun q -> q = src) t.members then
+        match dec payload with
+        | Some (SEND, v) when src = t.sender && not t.sent_echo ->
+          t.sent_echo <- true;
+          Hashtbl.replace t.echo_from t.me v;
+          t.pending <- (ECHO, v) :: t.pending
+        | Some (ECHO, v) ->
+          if not (Hashtbl.mem t.echo_from src) then Hashtbl.replace t.echo_from src v
+        | Some (READY, v) ->
+          if not (Hashtbl.mem t.ready_from src) then Hashtbl.replace t.ready_from src v
+        | _ -> ())
+    msgs;
+  maybe_progress t
+
+let machine t =
+  { Repro_net.Engine.m_send = (fun ~round -> m_send t ~round);
+    m_recv = (fun ~round msgs -> m_recv t ~round msgs) }
+
+let output t = t.delivered

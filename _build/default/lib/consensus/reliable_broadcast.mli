@@ -1,0 +1,14 @@
+(** Bracha reliable broadcast (t < m/3, unauthenticated): honest sender =>
+    all deliver its value; if any honest member delivers, all deliver the
+    same value. Synchronous lock-step rendition, 4 rounds. *)
+
+type t
+
+val rounds : int
+val create : members:int list -> me:int -> sender:int -> input:bytes -> t
+val machine : t -> Repro_net.Engine.machine
+val m_send : t -> round:int -> (int * bytes) list
+val m_recv : t -> round:int -> (int * bytes) list -> unit
+
+val output : t -> bytes option
+(** The delivered value, if any. *)

@@ -1,0 +1,1 @@
+lib/core/aggr_sig.ml: Bytes List Repro_aetree Repro_consensus Srds_intf

@@ -1,0 +1,1 @@
+lib/core/balanced_ba.ml: Aggr_sig Array Bytes Hashtbl Lazy List Option Printf Repro_aetree Repro_consensus Repro_crypto Repro_net Repro_util Srds_intf Sys Unix

@@ -1,0 +1,1 @@
+lib/core/baseline_multisig.ml: Bytes Char Hashtbl List Repro_crypto Repro_util

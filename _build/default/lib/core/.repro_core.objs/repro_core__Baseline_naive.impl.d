@@ -1,0 +1,1 @@
+lib/core/baseline_naive.ml: Array Bytes List Repro_net

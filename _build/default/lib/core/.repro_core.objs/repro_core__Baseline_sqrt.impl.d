@@ -1,0 +1,1 @@
+lib/core/baseline_sqrt.ml: Array Bytes List Repro_net Repro_util

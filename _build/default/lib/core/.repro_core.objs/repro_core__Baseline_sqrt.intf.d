@@ -1,0 +1,1 @@
+lib/core/baseline_sqrt.mli: Repro_net

@@ -1,0 +1,1 @@
+lib/core/boost.ml: Array Bytes List Repro_crypto Repro_net Repro_util Srds_intf

@@ -1,0 +1,1 @@
+lib/core/broadcast.ml: Array Balanced_ba Bytes Hashtbl List Printf Repro_aetree Repro_consensus Repro_net Repro_util Srds_intf

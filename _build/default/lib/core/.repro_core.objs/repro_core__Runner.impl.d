@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Balanced_ba Baseline_multisig Baseline_naive Baseline_sqrt List Printf Repro_aetree Repro_net Repro_util Srds_owf Srds_snark

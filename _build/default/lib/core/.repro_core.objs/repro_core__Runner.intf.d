@@ -1,0 +1,1 @@
+lib/core/runner.mli: Repro_aetree Repro_util

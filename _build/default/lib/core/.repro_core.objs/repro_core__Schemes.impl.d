@@ -1,0 +1,1 @@
+lib/core/schemes.ml: Srds_intf Srds_owf Srds_snark Srds_snark_ablated Srds_vrf

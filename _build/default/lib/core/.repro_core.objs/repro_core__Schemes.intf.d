@@ -1,0 +1,1 @@
+lib/core/schemes.mli: Srds_intf

@@ -1,0 +1,1 @@
+lib/core/srds_experiments.ml: Array Bytes Hashtbl List Option Printf Repro_aetree Repro_util Srds_intf

@@ -1,0 +1,1 @@
+lib/core/srds_intf.ml: Bytes Repro_util

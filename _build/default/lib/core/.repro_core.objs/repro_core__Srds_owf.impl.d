@@ -1,0 +1,1 @@
+lib/core/srds_owf.ml: Array Hashtbl List Repro_crypto Repro_util

@@ -1,0 +1,1 @@
+lib/core/srds_snark.ml: Array Bytes List Option Repro_crypto Repro_snark Repro_util

@@ -1,0 +1,1 @@
+lib/core/srds_snark_ablated.ml: Srds_snark

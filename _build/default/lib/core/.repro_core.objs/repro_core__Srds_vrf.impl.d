@@ -1,0 +1,1 @@
+lib/core/srds_vrf.ml: Array Bytes Hashtbl List Repro_crypto Repro_util Srds_owf

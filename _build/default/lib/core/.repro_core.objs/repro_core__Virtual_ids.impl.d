@@ -1,0 +1,1 @@
+lib/core/virtual_ids.ml: List Repro_aetree

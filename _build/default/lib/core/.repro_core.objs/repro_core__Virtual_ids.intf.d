@@ -1,0 +1,1 @@
+lib/core/virtual_ids.mli: Repro_aetree

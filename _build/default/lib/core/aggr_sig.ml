@@ -1,0 +1,78 @@
+(* Realization of the signature-aggregation functionality f_aggr-sig
+   (paper Sec. 3.1) inside one tree node's committee.
+
+   The functionality takes each member's set of received signatures,
+   determines the set backed by the committee, aggregates it, and hands the
+   same aggregated signature to every member. The paper realizes it with
+   Damgard-Ishai MPC; since neither of our Aggregate2 instances needs
+   secret randomness, a robust-correctness realization suffices (see
+   DESIGN.md substitutions):
+
+     1. each member locally filters its received set — Aggregate1 plus the
+        Fig. 3 step-5c range checks against the node's children — and
+        deterministically computes a candidate aggregate;
+     2. the committee runs {!Repro_consensus.Committee} agreement on the
+        candidates, with external validity "partially verifies and stays
+        within this node's virtual-ID range".
+
+   Child committees have already agreed on their outputs, so honest
+   members' candidates normally coincide and agreement converges on the
+   first phase; when corrupt children equivocate, the agreed value is still
+   some honest member's validly-aggregated candidate. *)
+
+module Committee = Repro_consensus.Committee
+module Params = Repro_aetree.Params
+module Tree = Repro_aetree.Tree
+
+module Make (S : Srds_intf.SCHEME) = struct
+  module W = Srds_intf.Wire (S)
+
+  (* Fig. 3 step 5c: a signature entering a node must fit a child's range
+     (or, at a leaf, be a base signature of one of the leaf's own slots). *)
+  let range_ok tree ~level ~idx sg =
+    let params = Tree.params tree in
+    let lo, hi = (S.min_index sg, S.max_index sg) in
+    if level = 1 then begin
+      let rlo, rhi = Params.leaf_slot_range params idx in
+      lo = hi && lo >= rlo && lo <= rhi
+    end
+    else
+      List.exists
+        (fun child ->
+          let clo, chi = Tree.range tree ~level:(level - 1) ~idx:child in
+          lo >= clo && hi <= chi)
+        (Tree.children tree ~level ~idx)
+
+  let node_range_ok tree ~level ~idx sg =
+    let nlo, nhi = Tree.range tree ~level ~idx in
+    S.min_index sg >= nlo && S.max_index sg <= nhi
+
+  (* One member's f_aggr-sig instance for node (level, idx): [raw] is the
+     signature bytes this member received for the node. The result is a
+     {!Committee.t} to be driven by the engine; its output payload is the
+     node signature (possibly [Bytes.empty] when nothing aggregated). *)
+  let instance ~pp ~vks ~tree ~level ~idx ~members ~me ~msg ~raw =
+    let sigs = List.filter_map W.of_bytes raw in
+    let checked = List.filter (range_ok tree ~level ~idx) sigs in
+    let filtered = S.aggregate1 pp ~vks ~msg checked in
+    let candidate =
+      match S.aggregate2 pp ~msg filtered with
+      | Some sg -> W.to_bytes sg
+      | None -> Bytes.empty
+    in
+    let valid payload =
+      Bytes.length payload = 0
+      ||
+      match W.of_bytes payload with
+      | Some sg -> S.verify_partial pp ~vks ~msg sg && node_range_ok tree ~level ~idx sg
+      | None -> false
+    in
+    Committee.create ~members ~me ~candidate ~valid ()
+
+  let rounds ~members = Committee.rounds ~members
+
+  let output st =
+    match Committee.output st with
+    | Some (Some payload) when Bytes.length payload > 0 -> Some payload
+    | _ -> None
+end

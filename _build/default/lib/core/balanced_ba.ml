@@ -1,0 +1,522 @@
+(* The balanced Byzantine agreement protocol of Figure 3 (Theorem 1.1/3.1):
+   polylog(n)-per-party communication BA from any SRDS scheme, in the
+   (f_ae-comm, f_ba, f_ct, f_aggr-sig)-hybrid model with every
+   functionality realized by this repository's substrates.
+
+   The protocol factors into a reusable *certification pipeline* — given
+   that the supreme committee holds a payload, produce certified
+   almost-everywhere agreement on it and boost to full agreement in one
+   round — plus a committee BA deciding what the payload is. The broadcast
+   corollary (Cor. 1.2) reuses the same pipeline with a different payload
+   source; see broadcast.ml.
+
+   Phase map (Fig. 3 step numbers in parentheses):
+
+     A  setup (uncharged, per the model): SRDS pp and per-virtual-ID keys;
+        the slot assignment (the idmap) is fixed from public randomness;
+        the adversary corrupts *after* seeing all of it.
+     B  f_ae-comm first call (1): the election protocol seeds the tree.
+     C  supreme committee: f_ba on input bits (2) and f_ct (2).
+     D  f_ae-comm: disseminate (y, s) (3).
+     E  sign per virtual identity, send to leaf committees (4).
+     F  per level: Aggregate1 + step-5c range checks + f_aggr-sig (5).
+     G  f_ae-comm: disseminate (y, s, sigma_root) (6).
+     H  boost: send to F_s(i); accept iff member check + SRDS verify (7-8).
+
+   Every message is serialized bytes through the metered network; the
+   reported per-party communication is exactly what the theorem bounds. *)
+
+module Rng = Repro_util.Rng
+module Encode = Repro_util.Encode
+module Network = Repro_net.Network
+module Engine = Repro_net.Engine
+module Wire = Repro_net.Wire
+module Metrics = Repro_net.Metrics
+module Params = Repro_aetree.Params
+module Tree = Repro_aetree.Tree
+module Ae_comm = Repro_aetree.Ae_comm
+module Phase_king = Repro_consensus.Phase_king
+module Coin_toss = Repro_consensus.Coin_toss
+
+type config = {
+  n : int;
+  corrupt : int list;
+  inputs : bool array; (* per-party input bit *)
+  seed : int;
+  boost_degree : int option; (* |F_s(i)|; default 2 * committee size *)
+  adversary : Repro_net.Network.adversary option;
+      (* active network adversary, invoked every round of every phase *)
+}
+
+type result = {
+  outputs : bool option array;
+  y : bool option; (* supreme committee's agreed bit *)
+  agreed : bool; (* all deciding honest parties output the same bit *)
+  decided_fraction : float; (* honest parties that decided *)
+  valid : bool; (* if all honest inputs equal b, deciders output b *)
+  report : Metrics.report;
+  breakdown : (string * int) list; (* sent bytes per protocol phase *)
+  tree_good : bool;
+}
+
+let default_config ?adversary ~n ~corrupt ~inputs ~seed () =
+  { n; corrupt; inputs; seed; boost_degree = None; adversary }
+
+(* Phase timing, printed to stderr when REPRO_TRACE is set. *)
+let trace_enabled = lazy (Sys.getenv_opt "REPRO_TRACE" <> None)
+
+let timed name f =
+  if Lazy.force trace_enabled then begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    Printf.eprintf "[ba] %-28s %6.2fs\n%!" name (Unix.gettimeofday () -. t0);
+    r
+  end
+  else f ()
+
+module Make (S : Srds_intf.SCHEME) = struct
+  module W = Srds_intf.Wire (S)
+  module Agg = Aggr_sig.Make (S)
+
+  (* Execution context shared by BA and broadcast: network, tree, SRDS
+     keys. Building it runs phases A and B. *)
+  type ctx = {
+    net : Network.t;
+    rng : Rng.t;
+    params : Params.t;
+    ae : Ae_comm.t;
+    tree : Tree.t;
+    pp : S.pp;
+    vks : bytes array;
+    sks : S.sk array;
+    supreme : int list;
+    boost_degree : int;
+    adversary : Network.adversary option;
+  }
+
+  let make_ctx (cfg : config) : ctx =
+    Repro_crypto.Wots.clear_cache ();
+    let n = cfg.n in
+    let rng = Rng.create cfg.seed in
+    let params = Params.default n in
+    let num_slots = params.Params.num_slots in
+    (* Phase A: uncharged setup. *)
+    let slot_party = Tree.assignment params (Rng.of_label rng "assignment") in
+    let setup_rng = Rng.of_label rng "srds-setup" in
+    let pp, master = S.setup setup_rng ~n:num_slots in
+    let keys =
+      timed "A: keygen" (fun () ->
+          Array.init num_slots (fun s -> S.keygen pp master setup_rng ~index:s))
+    in
+    let net = Network.create ~n ~corrupt:cfg.corrupt in
+    (* Phase B: election establishes the tree. *)
+    let ae =
+      timed "B: election" (fun () ->
+          Ae_comm.establish_with_assignment net params ~slot_party
+            ~rng:(Rng.of_label rng "election"))
+    in
+    let tree = Ae_comm.tree ae in
+    {
+      net;
+      rng;
+      params;
+      ae;
+      tree;
+      pp;
+      vks = Array.map fst keys;
+      sks = Array.map snd keys;
+      supreme = Array.to_list (Tree.supreme_committee tree);
+      boost_degree =
+        (match cfg.boost_degree with
+        | Some d -> d
+        | None -> min (n - 1) (2 * params.Params.committee_size));
+      adversary = cfg.adversary;
+    }
+
+  let honest ctx p = Network.is_honest ctx.net p
+
+  (* (payload, s) message the SRDS certifies. *)
+  let msg_of_pair ~payload ~s =
+    Encode.to_bytes (fun b ->
+        Encode.bytes b payload;
+        Encode.bytes b s)
+
+  let pair_of_msg data =
+    Encode.decode data (fun src ->
+        let payload = Encode.r_bytes src in
+        let s = Encode.r_bytes src in
+        (payload, s))
+
+  (* The certification pipeline: phases C(coin) through H. [values p] is
+     supreme member p's payload (honest members agree on it beforehand).
+     Returns, per party, the certified payload it decided on. *)
+  let certify ctx ~label ~values : bytes option array =
+    let n = Network.n ctx.net in
+    let net = ctx.net in
+    let params = ctx.params in
+    let tree = ctx.tree in
+
+    (* --- coin toss (f_ct) among the supreme committee --- *)
+    let coin_states = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        if honest ctx p then
+          Hashtbl.replace coin_states p
+            (Coin_toss.create ~members:ctx.supreme ~me:p
+               ~rng:(Rng.of_label ctx.rng (Printf.sprintf "coin-%s-%d" label p))))
+      ctx.supreme;
+    timed "C2: coin toss" (fun () ->
+        Engine.run net ?adversary:ctx.adversary
+          ~tag:("coin-" ^ label)
+          ~rounds:(Coin_toss.rounds ~members:ctx.supreme)
+          ~machines:(fun p ->
+            match Hashtbl.find_opt coin_states p with
+            | Some ct -> [ ("coin", Coin_toss.machine ct) ]
+            | None -> [])
+          ());
+    Network.flush net;
+    let s_of p = Option.bind (Hashtbl.find_opt coin_states p) Coin_toss.output in
+
+    (* --- Phase D: disseminate (payload, s) --- *)
+    let pair_values p =
+      match (values p, s_of p) with
+      | Some payload, Some s -> Some (msg_of_pair ~payload ~s)
+      | _ -> None
+    in
+    let received_pair =
+      timed "D: disseminate pair" (fun () ->
+          Ae_comm.disseminate ?adversary:ctx.adversary net ctx.ae
+            ~label:("pair-" ^ label) ~values:pair_values)
+    in
+    Network.flush net;
+    if Lazy.force trace_enabled then begin
+      let got = Array.fold_left (fun a v -> if v <> None then a + 1 else a) 0 received_pair in
+      let supreme_with = List.length (List.filter (fun p -> pair_values p <> None) ctx.supreme) in
+      Printf.eprintf "[ba] pair coverage: %d/%d parties, %d supreme injectors\n%!" got n supreme_with
+    end;
+
+    (* --- Phase E: sign per virtual identity, send to leaf committees --- *)
+    let incoming : (int * int, bytes list) Hashtbl.t array =
+      Array.init n (fun _ -> Hashtbl.create 8)
+    in
+    let leaf_members = Hashtbl.create 64 in
+    for k = 0 to params.Params.num_leaves - 1 do
+      Hashtbl.replace leaf_members k (Array.to_list (Tree.assigned tree ~level:1 ~idx:k))
+    done;
+    let sig_tag = "sig-" ^ label in
+    let sign_handler p ~round ~inbox =
+      ignore round;
+      ignore inbox;
+      match received_pair.(p) with
+      | Some pair_bytes ->
+        List.iter
+          (fun slot ->
+            match S.sign ctx.pp ctx.sks.(slot) ~index:slot ~msg:pair_bytes with
+            | Some sg ->
+              let leaf = Params.leaf_of_slot params slot in
+              let payload =
+                Encode.to_bytes (fun b ->
+                    Encode.varint b leaf;
+                    S.encode_sig b sg)
+              in
+              Network.send_many net ~src:p
+                ~dsts:(Hashtbl.find leaf_members leaf)
+                ~tag:sig_tag payload
+            | None -> ())
+          (Tree.party_slots tree p)
+      | None -> ()
+    in
+    let collect_handler p ~round ~inbox =
+      ignore round;
+      List.iter
+        (fun (m : Wire.msg) ->
+          if m.Wire.tag = sig_tag then
+            match
+              Encode.decode m.Wire.payload (fun src ->
+                  let leaf = Encode.r_varint src in
+                  let rest = Encode.r_bytes_raw src (Encode.remaining src) in
+                  (leaf, rest))
+            with
+            | Some (leaf, sig_bytes) when leaf >= 0 && leaf < params.Params.num_leaves ->
+              let key = (1, leaf) in
+              Hashtbl.replace incoming.(p) key
+                (sig_bytes :: (try Hashtbl.find incoming.(p) key with Not_found -> []))
+            | _ -> ())
+        inbox
+    in
+    timed "E: sign+send" (fun () ->
+        Network.run net ?adversary:ctx.adversary ~rounds:1
+          (Array.init n (fun p -> if honest ctx p then Some (sign_handler p) else None));
+        Network.run net ?adversary:ctx.adversary ~rounds:1
+          (Array.init n (fun p -> if honest ctx p then Some (collect_handler p) else None));
+        Network.flush net);
+
+    (* --- Phase F: aggregate up the tree (f_aggr-sig per node) --- *)
+    for level = 1 to params.Params.height do
+      timed (Printf.sprintf "F: level %d" level) @@ fun () ->
+      let node_count = Tree.nodes_at_level tree ~level in
+      let agree_states : (int * int, Repro_consensus.Committee.t) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let members_of idx = Array.to_list (Tree.assigned tree ~level ~idx) in
+      for idx = 0 to node_count - 1 do
+        List.iter
+          (fun p ->
+            if honest ctx p then begin
+              match received_pair.(p) with
+              | None -> ()
+              | Some msg ->
+                let raw = try Hashtbl.find incoming.(p) (level, idx) with Not_found -> [] in
+                Hashtbl.replace agree_states (idx, p)
+                  (Agg.instance ~pp:ctx.pp ~vks:ctx.vks ~tree ~level ~idx
+                     ~members:(members_of idx) ~me:p ~msg ~raw)
+            end)
+          (members_of idx)
+      done;
+      (* committees differ in size (distinct slot owners per leaf), so run
+         enough rounds for the largest instance at this level *)
+      let agree_rounds =
+        let r = ref 0 in
+        for idx = 0 to node_count - 1 do
+          r := max !r (Agg.rounds ~members:(members_of idx))
+        done;
+        !r
+      in
+      Engine.run net ?adversary:ctx.adversary
+        ~tag:(Printf.sprintf "aggr-%s-%d" label level)
+        ~rounds:agree_rounds
+        ~machines:(fun p ->
+          Hashtbl.fold
+            (fun (idx, q) st acc ->
+              if q = p then (string_of_int idx, Repro_consensus.Committee.machine st) :: acc
+              else acc)
+            agree_states [])
+        ();
+      Network.flush net;
+      if level < params.Params.height then begin
+        (* forward agreed node signatures to the parent committees *)
+        let up_tag = "up-" ^ label in
+        let forward_handler p ~round ~inbox =
+          ignore round;
+          ignore inbox;
+          Hashtbl.iter
+            (fun (idx, q) st ->
+              if q = p then
+                match Agg.output st with
+                | Some payload ->
+                  let parent = idx / params.Params.branching in
+                  let payload' =
+                    Encode.to_bytes (fun b ->
+                        Encode.varint b idx;
+                        Encode.bytes_raw b payload)
+                  in
+                  Network.send_many net ~src:p
+                    ~dsts:(Array.to_list (Tree.assigned tree ~level:(level + 1) ~idx:parent))
+                    ~tag:up_tag payload'
+                | None -> ())
+            agree_states
+        in
+        let collect_up p ~round ~inbox =
+          ignore round;
+          List.iter
+            (fun (m : Wire.msg) ->
+              if m.Wire.tag = up_tag then
+                match
+                  Encode.decode m.Wire.payload (fun src ->
+                      let idx = Encode.r_varint src in
+                      let rest = Encode.r_bytes_raw src (Encode.remaining src) in
+                      (idx, rest))
+                with
+                | Some (child_idx, sig_bytes) ->
+                  let parent = child_idx / params.Params.branching in
+                  let key = (level + 1, parent) in
+                  Hashtbl.replace incoming.(p) key
+                    (sig_bytes :: (try Hashtbl.find incoming.(p) key with Not_found -> []))
+                | None -> ())
+            inbox
+        in
+        Network.run net ?adversary:ctx.adversary ~rounds:1
+          (Array.init n (fun p -> if honest ctx p then Some (forward_handler p) else None));
+        Network.run net ?adversary:ctx.adversary ~rounds:1
+          (Array.init n (fun p -> if honest ctx p then Some (collect_up p) else None));
+        Network.flush net
+      end
+      else
+        Hashtbl.iter
+          (fun (idx, q) st ->
+            if idx = 0 then
+              match Agg.output st with
+              | Some payload -> Hashtbl.replace incoming.(q) (-1, -1) [ payload ]
+              | None -> ())
+          agree_states;
+    done;
+
+    if Lazy.force trace_enabled then begin
+      (* diagnostic: how many supreme members hold a root signature, and
+         how many base signatures it attests *)
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt incoming.(p) (-1, -1) with
+          | Some [ sig_bytes ] ->
+            (match W.of_bytes sig_bytes with
+            | Some sg ->
+              Printf.eprintf "[ba] root@%d count=%d (threshold %d)\n%!" p (S.count sg)
+                (S.threshold ctx.pp)
+            | None -> Printf.eprintf "[ba] root@%d undecodable\n%!" p)
+          | _ -> ())
+        ctx.supreme
+    end;
+
+    (* --- Phase G: disseminate (payload, s, sigma_root) --- *)
+    let cert_values p =
+      match (received_pair.(p), Hashtbl.find_opt incoming.(p) (-1, -1)) with
+      | Some pair_bytes, Some [ sig_bytes ] ->
+        Some
+          (Encode.to_bytes (fun b ->
+               Encode.bytes b pair_bytes;
+               Encode.bytes b sig_bytes))
+      | _ -> None
+    in
+    let received_cert =
+      timed "G: disseminate cert" (fun () ->
+          Ae_comm.disseminate ?adversary:ctx.adversary net ctx.ae
+            ~label:("cert-" ^ label) ~values:cert_values)
+    in
+    Network.flush net;
+
+    (* --- Phase H: the single boost round --- *)
+    let outputs = Array.make n None in
+    let decode_cert data =
+      Encode.decode data (fun src ->
+          let pair_bytes = Encode.r_bytes src in
+          let sig_bytes = Encode.r_bytes src in
+          (pair_bytes, sig_bytes))
+    in
+    let accept p pair_bytes sig_bytes =
+      match (pair_of_msg pair_bytes, W.of_bytes sig_bytes) with
+      | Some (payload, _s), Some sg ->
+        if S.verify ctx.pp ~vks:ctx.vks ~msg:pair_bytes sg then begin
+          if outputs.(p) = None then outputs.(p) <- Some payload;
+          true
+        end
+        else false
+      | _ -> false
+    in
+    let boost_tag = "boost-" ^ label in
+    let boost_send p ~round ~inbox =
+      ignore round;
+      ignore inbox;
+      match received_cert.(p) with
+      | Some cert -> (
+        match decode_cert cert with
+        | Some (pair_bytes, sig_bytes) -> (
+          match pair_of_msg pair_bytes with
+          | Some (_payload, s) ->
+            ignore (accept p pair_bytes sig_bytes);
+            let targets =
+              Repro_crypto.Prf.subset
+                ~key:(Repro_crypto.Prf.of_seed s)
+                ~index:p ~n ~size:ctx.boost_degree
+            in
+            Network.send_many net ~src:p ~dsts:targets ~tag:boost_tag cert
+          | None -> ())
+        | None -> ())
+      | None -> ()
+    in
+    let boost_recv p ~round ~inbox =
+      ignore round;
+      List.iter
+        (fun (m : Wire.msg) ->
+          if m.Wire.tag = boost_tag && outputs.(p) = None then
+            match decode_cert m.Wire.payload with
+            | Some (pair_bytes, sig_bytes) -> (
+              match pair_of_msg pair_bytes with
+              | Some (_payload, s) ->
+                (* dynamic filtering (Fig. 3 step 8): process only when this
+                   party belongs to the sender's PRF subset *)
+                if
+                  Repro_crypto.Prf.subset_mem
+                    ~key:(Repro_crypto.Prf.of_seed s)
+                    ~index:m.Wire.src ~n ~size:ctx.boost_degree p
+                then ignore (accept p pair_bytes sig_bytes)
+              | None -> ())
+            | None -> ())
+        inbox
+    in
+    timed "H: boost round" (fun () ->
+        Network.run net ?adversary:ctx.adversary ~rounds:1
+          (Array.init n (fun p -> if honest ctx p then Some (boost_send p) else None));
+        Network.run net ?adversary:ctx.adversary ~rounds:1
+          (Array.init n (fun p -> if honest ctx p then Some (boost_recv p) else None)));
+    outputs
+
+  (* --- the full Byzantine agreement protocol --- *)
+
+  let run (cfg : config) : result =
+    let ctx = make_ctx cfg in
+    let n = cfg.n in
+    let corrupt p = Network.is_corrupt ctx.net p in
+    let tree_good = Repro_aetree.Tree_check.check_goodness ctx.tree ~corrupt = [] in
+
+    (* Phase C1: supreme committee BA on the input bits (f_ba). *)
+    let pk_states = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        if honest ctx p then
+          Hashtbl.replace pk_states p
+            (Phase_king.create ~members:ctx.supreme ~me:p ~input:cfg.inputs.(p)))
+      ctx.supreme;
+    timed "C1: supreme BA" (fun () ->
+        Engine.run ctx.net ?adversary:ctx.adversary ~tag:"supreme-ba"
+          ~rounds:(Phase_king.rounds ~members:ctx.supreme)
+          ~machines:(fun p ->
+            match Hashtbl.find_opt pk_states p with
+            | Some pk -> [ ("ba", Phase_king.machine pk) ]
+            | None -> [])
+          ());
+    Network.flush ctx.net;
+    let y_of p = Option.bind (Hashtbl.find_opt pk_states p) Phase_king.output in
+    let supreme_honest = List.filter (honest ctx) ctx.supreme in
+    let y = match supreme_honest with [] -> None | p :: _ -> y_of p in
+
+    (* Certify and boost the agreed bit. *)
+    let values p =
+      Option.map (fun b -> Bytes.make 1 (if b then '\001' else '\000')) (y_of p)
+    in
+    let certified = certify ctx ~label:"ba" ~values in
+    let outputs =
+      Array.map
+        (Option.map (fun payload -> Bytes.length payload = 1 && Bytes.get payload 0 = '\001'))
+        certified
+    in
+
+    (* --- results --- *)
+    let honest_list = List.filter (honest ctx) (List.init n (fun p -> p)) in
+    let decided = List.filter_map (fun p -> outputs.(p)) honest_list in
+    let agreed =
+      match decided with
+      | [] -> false
+      | d :: rest -> List.for_all (fun x -> x = d) rest
+    in
+    let decided_fraction =
+      float_of_int (List.length decided) /. float_of_int (max 1 (List.length honest_list))
+    in
+    let valid =
+      let honest_inputs = List.map (fun p -> cfg.inputs.(p)) honest_list in
+      match honest_inputs with
+      | [] -> true
+      | b :: rest when List.for_all (fun x -> x = b) rest ->
+        List.for_all (fun d -> d = b) decided && decided <> []
+      | _ -> true
+    in
+    {
+      outputs;
+      y;
+      agreed;
+      decided_fraction;
+      valid;
+      report = Metrics.report ~include_party:(honest ctx) (Network.metrics ctx.net);
+      breakdown = Metrics.tag_breakdown (Network.metrics ctx.net);
+      tree_good;
+    }
+end

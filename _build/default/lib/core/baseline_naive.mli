@@ -1,0 +1,19 @@
+(** Trivial flooding boost baseline: every holder sends the value to all n
+    parties; Theta(n) messages per party in one round. *)
+
+type config = {
+  n : int;
+  corrupt : int list;
+  holders : int list;
+  value : bool;
+  seed : int;
+}
+
+type result = {
+  outputs : bool option array;
+  agreed : bool;
+  correct_fraction : float;
+  report : Repro_net.Metrics.report;
+}
+
+val run : config -> result

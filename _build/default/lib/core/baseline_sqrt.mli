@@ -1,0 +1,21 @@
+(** King–Saia-style sqrt(n) boost baseline (the Õ(√n) rows of Table 1):
+    group flooding + row exchange, Theta(sqrt n) messages per party,
+    no setup. *)
+
+type config = {
+  n : int;
+  corrupt : int list;
+  holders : int list;  (** honest parties that start with the value *)
+  value : bool;
+  seed : int;
+}
+
+type result = {
+  outputs : bool option array;
+  agreed : bool;
+  correct_fraction : float;
+  report : Repro_net.Metrics.report;
+}
+
+val group_size : int -> int
+val run : config -> result

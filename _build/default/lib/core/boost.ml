@@ -1,0 +1,273 @@
+(* The single-round boost in isolation (experiment E11), plus an executable
+   illustration of why it *needs* the certificate (Theorems 1.3/1.4).
+
+   Setup: certified almost-everywhere agreement is given — a (1 - iso)
+   fraction of the honest parties hold (y, s, sigma) where sigma is a
+   genuine SRDS majority aggregate on (y, s); the rest are isolated and
+   hold nothing. One round: every holder i sends the certificate to the
+   PRF subset F_s(i); an isolated receiver j processes a message from i
+   only if j is in F_s(i) (dynamic filtering) and the SRDS signature
+   verifies.
+
+   [run] measures the recovered fraction of isolated parties as a function
+   of the boost degree. [run_unauthenticated] removes the SRDS
+   verification (modelling the no-setup world of Thm. 1.3): a rushing
+   adversary that floods isolated parties with a conflicting value then
+   splits them — the measured disagreement is the attack surface the lower
+   bound formalizes. *)
+
+module Rng = Repro_util.Rng
+module Encode = Repro_util.Encode
+module Network = Repro_net.Network
+module Metrics = Repro_net.Metrics
+module Wire = Repro_net.Wire
+
+type config = {
+  n : int;
+  corrupt : int list;
+  isolated_fraction : float; (* of honest parties *)
+  degree : int; (* |F_s(i)| *)
+  seed : int;
+}
+
+type result = {
+  recovered_fraction : float; (* isolated honest parties that decided y *)
+  fooled_fraction : float; (* isolated honest parties deciding NOT y *)
+  report : Metrics.report;
+}
+
+module Make (S : Srds_intf.SCHEME) = struct
+  module W = Srds_intf.Wire (S)
+
+  (* Build a genuine certificate centrally (the challenger plays the
+     pipeline's role). *)
+  let build_certificate rng ~n_virtual ~y =
+    let pp, master = S.setup rng ~n:n_virtual in
+    let keys = Array.init n_virtual (fun i -> S.keygen pp master rng ~index:i) in
+    let vks = Array.map fst keys in
+    let s = Rng.bytes rng Repro_crypto.Hashx.kappa_bytes in
+    let payload = Bytes.make 1 (if y then '\001' else '\000') in
+    let msg =
+      Encode.to_bytes (fun b ->
+          Encode.bytes b payload;
+          Encode.bytes b s)
+    in
+    let sigs =
+      List.filter_map
+        (fun i -> S.sign pp (snd keys.(i)) ~index:i ~msg)
+        (List.init n_virtual (fun i -> i))
+    in
+    (* batched aggregation as the tree would do it *)
+    let rec aggregate sigs =
+      match sigs with
+      | [] -> None
+      | [ sg ] -> Some sg
+      | _ ->
+        let rec chunks acc cur k = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | x :: rest ->
+            if k = 16 then chunks (List.rev cur :: acc) [ x ] 1 rest
+            else chunks acc (x :: cur) (k + 1) rest
+        in
+        let next =
+          List.filter_map
+            (fun chunk -> S.aggregate2 pp ~msg (S.aggregate1 pp ~vks ~msg chunk))
+            (chunks [] [] 0 sigs)
+        in
+        if List.length next >= List.length sigs then None else aggregate next
+    in
+    match aggregate sigs with
+    | Some sigma when S.verify pp ~vks ~msg sigma -> (pp, vks, keys, msg, s, sigma)
+    | _ -> failwith "Boost.build_certificate: could not build a verifying aggregate"
+
+  let split_msg data =
+    Encode.decode data (fun src ->
+        let payload = Encode.r_bytes src in
+        let s = Encode.r_bytes src in
+        (payload, s))
+
+  (* Forge a *valid* conflicting certificate using the honest signing keys:
+     what an adversary that can invert the one-way function (and hence
+     recover signing keys from the published verification keys) would
+     compute. This is the Thm. 1.4 attack: in the PKI model, if OWFs do not
+     exist, the single-round boost fails even with verification on. *)
+  let forge_with_inverted_keys rng ~pp ~vks ~keys ~s ~y' =
+    let payload = Bytes.make 1 (if y' then '\001' else '\000') in
+    let msg' =
+      Encode.to_bytes (fun b ->
+          Encode.bytes b payload;
+          Encode.bytes b s)
+    in
+    let sigs =
+      List.filter_map
+        (fun i -> S.sign pp (snd keys.(i)) ~index:i ~msg:msg')
+        (List.init (Array.length keys) (fun i -> i))
+    in
+    ignore rng;
+    let rec aggregate sigs =
+      match sigs with
+      | [] -> None
+      | [ sg ] -> Some sg
+      | _ ->
+        let rec chunks acc cur k = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | x :: rest ->
+            if k = 16 then chunks (List.rev cur :: acc) [ x ] 1 rest
+            else chunks acc (x :: cur) (k + 1) rest
+        in
+        let next =
+          List.filter_map
+            (fun chunk -> S.aggregate2 pp ~msg:msg' (S.aggregate1 pp ~vks ~msg:msg' chunk))
+            (chunks [] [] 0 sigs)
+        in
+        if List.length next >= List.length sigs then None else aggregate next
+    in
+    match aggregate sigs with
+    | Some sigma ->
+      Some
+        (Encode.to_bytes (fun b ->
+             Encode.bytes b msg';
+             Encode.bytes b (W.to_bytes sigma)))
+    | None -> None
+
+  let run_generic ?(leak_keys = false) ~authenticated (cfg : config) : result =
+    let n = cfg.n in
+    let rng = Rng.create cfg.seed in
+    let y = true in
+    let pp, vks, keys, msg, s, sigma = build_certificate rng ~n_virtual:n ~y in
+    let cert =
+      Encode.to_bytes (fun b ->
+          Encode.bytes b msg;
+          Encode.bytes b (W.to_bytes sigma))
+    in
+    let forged_cert =
+      if leak_keys then forge_with_inverted_keys rng ~pp ~vks ~keys ~s ~y':false
+      else None
+    in
+    let net = Network.create ~n ~corrupt:cfg.corrupt in
+    let honest p = Network.is_honest net p in
+    let honest_list = List.filter honest (List.init n (fun p -> p)) in
+    let iso_count =
+      int_of_float (cfg.isolated_fraction *. float_of_int (List.length honest_list))
+    in
+    let shuffled = Array.of_list honest_list in
+    Rng.shuffle rng shuffled;
+    let isolated = Array.sub shuffled 0 iso_count |> Array.to_list in
+    let is_isolated p = List.mem p isolated in
+    let outputs = Array.make n None in
+    let prf_key = Repro_crypto.Prf.of_seed s in
+    let accept data =
+      match split_msg data with
+      | Some (payload, _s') when Bytes.length payload = 1 ->
+        Some (Bytes.get payload 0 = '\001')
+      | _ -> None
+    in
+    let sender p ~round ~inbox =
+      ignore round;
+      ignore inbox;
+      if not (is_isolated p) then begin
+        outputs.(p) <- Some y;
+        let targets = Repro_crypto.Prf.subset ~key:prf_key ~index:p ~n ~size:cfg.degree in
+        Network.send_many net ~src:p ~dsts:targets ~tag:"boost" cert
+      end
+    in
+    (* A rushing adversary flooding the conflicting value. Against the
+       authenticated boost it must forge an SRDS aggregate; unauthenticated,
+       its flood is indistinguishable from the honest one. *)
+    let adversary =
+      {
+        Network.adv_name = "conflict-flood";
+        adv_step =
+          (fun net ~round ~honest_staged:_ ->
+            if round = 0 then
+              List.iter
+                (fun c ->
+                  let fake_cert =
+                    match forged_cert with
+                    | Some cert -> cert (* Thm 1.4: genuinely valid forgery *)
+                    | None ->
+                      let fake_payload = Bytes.make 1 '\000' in
+                      let fake_msg =
+                        Encode.to_bytes (fun b ->
+                            Encode.bytes b fake_payload;
+                            Encode.bytes b s)
+                      in
+                      Encode.to_bytes (fun b ->
+                          Encode.bytes b fake_msg;
+                          Encode.bytes b (Rng.bytes rng 64))
+                  in
+                  List.iter
+                    (fun p ->
+                      if p <> c then Network.send net ~src:c ~dst:p ~tag:"boost" fake_cert)
+                    (List.init n (fun p -> p)))
+                (Network.corrupt_parties net));
+      }
+    in
+    let receiver p ~round ~inbox =
+      ignore round;
+      (* the rushing adversary schedules in-round delivery: its messages
+         arrive first (this is what makes the unauthenticated variant
+         attackable; the authenticated one rejects them regardless) *)
+      let inbox =
+        let adv, hon = List.partition (fun (m : Wire.msg) -> not (honest m.Wire.src)) inbox in
+        adv @ hon
+      in
+      List.iter
+        (fun (m : Wire.msg) ->
+          if m.Wire.tag = "boost" && outputs.(p) = None then
+            match
+              Encode.decode m.Wire.payload (fun src ->
+                  let msg' = Encode.r_bytes src in
+                  let sig_bytes = Encode.r_bytes src in
+                  (msg', sig_bytes))
+            with
+            | Some (msg', sig_bytes) -> (
+              match split_msg msg' with
+              | Some (_, s') ->
+                let member =
+                  Repro_crypto.Prf.subset_mem
+                    ~key:(Repro_crypto.Prf.of_seed s')
+                    ~index:m.Wire.src ~n ~size:cfg.degree p
+                in
+                let valid =
+                  if not authenticated then true
+                  else
+                    match W.of_bytes sig_bytes with
+                    | Some sg -> S.verify pp ~vks ~msg:msg' sg
+                    | None -> false
+                in
+                if member && valid then begin
+                  match accept msg' with
+                  | Some b -> outputs.(p) <- Some b
+                  | None -> ()
+                end
+              | None -> ())
+            | None -> ())
+        inbox
+    in
+    Network.run net ~adversary ~rounds:1
+      (Array.init n (fun p -> if honest p then Some (sender p) else None));
+    Network.run net ~rounds:1
+      (Array.init n (fun p -> if honest p then Some (receiver p) else None));
+    let recovered = List.filter (fun p -> outputs.(p) = Some y) isolated in
+    let fooled = List.filter (fun p -> outputs.(p) = Some (not y)) isolated in
+    {
+      recovered_fraction =
+        float_of_int (List.length recovered) /. float_of_int (max 1 iso_count);
+      fooled_fraction =
+        float_of_int (List.length fooled) /. float_of_int (max 1 iso_count);
+      report = Metrics.report ~include_party:honest (Network.metrics net);
+    }
+
+  let run cfg = run_generic ~authenticated:true cfg
+
+  (* Thm. 1.3 illustration: without verifiable certificates the one-round
+     boost is attackable. *)
+  let run_unauthenticated cfg = run_generic ~authenticated:false cfg
+
+  (* Thm. 1.4 illustration: in the PKI model with a broken one-way function
+     (the adversary recovers signing keys from verification keys), the
+     boost fails even with full verification: the adversary's conflicting
+     certificate is genuinely valid. *)
+  let run_with_inverted_owf cfg = run_generic ~leak_keys:true ~authenticated:true cfg
+end

@@ -1,0 +1,268 @@
+(* Experiment orchestration: runs every protocol of Table 1 under identical
+   conditions on the metered network and renders the measured rows. The
+   benchmark harness (bench/main.ml) and the CLI (bin/ba_sim.ml) are thin
+   wrappers over this module; EXPERIMENTS.md records its outputs. *)
+
+module Rng = Repro_util.Rng
+module Mathx = Repro_util.Mathx
+module Tablefmt = Repro_util.Tablefmt
+module Metrics = Repro_net.Metrics
+
+type protocol =
+  | This_work_owf (* Fig. 3 over the OWF/trusted-PKI SRDS *)
+  | This_work_snark (* Fig. 3 over the SNARK/bare-PKI SRDS *)
+  | Multisig_boost (* same pipeline over Theta(n) multisignature certs [13] *)
+  | Sqrt_boost (* KS'09-style quorums, Theta~(sqrt n)/party *)
+  | Naive_boost (* flooding, Theta(n)/party *)
+
+let all_protocols =
+  [ This_work_owf; This_work_snark; Multisig_boost; Sqrt_boost; Naive_boost ]
+
+let protocol_name = function
+  | This_work_owf -> "this-work-owf"
+  | This_work_snark -> "this-work-snark"
+  | Multisig_boost -> "multisig-boost"
+  | Sqrt_boost -> "sqrt-quorum"
+  | Naive_boost -> "naive-flood"
+
+let protocol_of_name = function
+  | "this-work-owf" | "owf" -> Some This_work_owf
+  | "this-work-snark" | "snark" -> Some This_work_snark
+  | "multisig-boost" | "multisig" -> Some Multisig_boost
+  | "sqrt-quorum" | "sqrt" -> Some Sqrt_boost
+  | "naive-flood" | "naive" -> Some Naive_boost
+  | _ -> None
+
+type row = {
+  r_protocol : string;
+  r_n : int;
+  r_beta : float;
+  r_rounds : int;
+  r_max_bytes : int; (* max per-party sent+received *)
+  r_mean_bytes : float;
+  r_p50_bytes : float;
+  r_p95_bytes : float;
+  r_total_bytes : int;
+  r_locality : int;
+  r_ok : bool; (* protocol-specific success: agreement/validity held *)
+  r_note : string;
+}
+
+module Ba_owf = Balanced_ba.Make (Srds_owf)
+module Ba_snark = Balanced_ba.Make (Srds_snark)
+module Ba_multisig = Balanced_ba.Make (Baseline_multisig)
+
+let corrupt_set rng ~n ~beta =
+  Rng.subset rng ~n ~size:(int_of_float (beta *. float_of_int n))
+
+(* Holders for boost-only baselines: the almost-everywhere precondition,
+   all honest parties except a small isolated fraction. *)
+let holders rng ~n ~corrupt =
+  let honest = List.filter (fun p -> not (List.mem p corrupt)) (List.init n (fun p -> p)) in
+  let arr = Array.of_list honest in
+  Rng.shuffle rng arr;
+  let iso = max 1 (Array.length arr / 20) in
+  Array.sub arr iso (Array.length arr - iso) |> Array.to_list
+
+let run_full_ba name run_fn ~n ~beta ~seed : row =
+  let rng = Rng.create seed in
+  let corrupt = corrupt_set rng ~n ~beta in
+  let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+  let cfg = Balanced_ba.default_config ~n ~corrupt ~inputs ~seed () in
+  let (r : Balanced_ba.result) = run_fn cfg in
+  {
+    r_protocol = name;
+    r_n = n;
+    r_beta = beta;
+    r_rounds = r.Balanced_ba.report.Metrics.rounds;
+    r_max_bytes = r.Balanced_ba.report.Metrics.max_bytes;
+    r_mean_bytes = r.Balanced_ba.report.Metrics.mean_bytes;
+    r_p50_bytes = r.Balanced_ba.report.Metrics.p50_bytes;
+    r_p95_bytes = r.Balanced_ba.report.Metrics.p95_bytes;
+    r_total_bytes = r.Balanced_ba.report.Metrics.total_bytes;
+    r_locality = r.Balanced_ba.report.Metrics.max_locality;
+    r_ok = r.Balanced_ba.agreed && r.Balanced_ba.decided_fraction > 0.99;
+    r_note =
+      Printf.sprintf "decided=%.2f%s" r.Balanced_ba.decided_fraction
+        (if r.Balanced_ba.tree_good then "" else " tree-degraded");
+  }
+
+let run ~protocol ~n ~beta ~seed : row =
+  match protocol with
+  | This_work_owf ->
+    run_full_ba "this-work-owf" Ba_owf.run ~n ~beta ~seed
+  | This_work_snark ->
+    run_full_ba "this-work-snark" Ba_snark.run ~n ~beta ~seed
+  | Multisig_boost ->
+    run_full_ba "multisig-boost" Ba_multisig.run ~n ~beta ~seed
+  | Sqrt_boost ->
+    let rng = Rng.create seed in
+    let corrupt = corrupt_set rng ~n ~beta in
+    let holders = holders rng ~n ~corrupt in
+    let r = Baseline_sqrt.run { n; corrupt; holders; value = true; seed } in
+    {
+      r_protocol = "sqrt-quorum";
+      r_n = n;
+      r_beta = beta;
+      r_rounds = r.Baseline_sqrt.report.Metrics.rounds;
+      r_max_bytes = r.Baseline_sqrt.report.Metrics.max_bytes;
+      r_mean_bytes = r.Baseline_sqrt.report.Metrics.mean_bytes;
+      r_p50_bytes = r.Baseline_sqrt.report.Metrics.p50_bytes;
+      r_p95_bytes = r.Baseline_sqrt.report.Metrics.p95_bytes;
+      r_total_bytes = r.Baseline_sqrt.report.Metrics.total_bytes;
+      r_locality = r.Baseline_sqrt.report.Metrics.max_locality;
+      r_ok = r.Baseline_sqrt.agreed && r.Baseline_sqrt.correct_fraction > 0.99;
+      r_note = Printf.sprintf "correct=%.2f" r.Baseline_sqrt.correct_fraction;
+    }
+  | Naive_boost ->
+    let rng = Rng.create seed in
+    let corrupt = corrupt_set rng ~n ~beta in
+    let holders = holders rng ~n ~corrupt in
+    let r = Baseline_naive.run { n; corrupt; holders; value = true; seed } in
+    {
+      r_protocol = "naive-flood";
+      r_n = n;
+      r_beta = beta;
+      r_rounds = r.Baseline_naive.report.Metrics.rounds;
+      r_max_bytes = r.Baseline_naive.report.Metrics.max_bytes;
+      r_mean_bytes = r.Baseline_naive.report.Metrics.mean_bytes;
+      r_p50_bytes = r.Baseline_naive.report.Metrics.p50_bytes;
+      r_p95_bytes = r.Baseline_naive.report.Metrics.p95_bytes;
+      r_total_bytes = r.Baseline_naive.report.Metrics.total_bytes;
+      r_locality = r.Baseline_naive.report.Metrics.max_locality;
+      r_ok = r.Baseline_naive.agreed && r.Baseline_naive.correct_fraction > 0.99;
+      r_note = Printf.sprintf "correct=%.2f" r.Baseline_naive.correct_fraction;
+    }
+
+(* --- E14: the full protocol under setup-aware corruption ---
+
+   The adversary corrupts after seeing the public slot assignment (the
+   Fig. 3 idmap). We rebuild exactly the assignment the protocol will use
+   (same seed derivation as Balanced_ba.make_ctx), hand it to the chosen
+   Attacks strategy, and run the protocol against the resulting corrupt
+   set. Committees are elected after corruption, so leaf-killing is the
+   strongest in-model strategy. *)
+
+module Attacks = Repro_aetree.Attacks
+module Aetree_params = Repro_aetree.Params
+module Aetree_tree = Repro_aetree.Tree
+
+let corrupt_by_strategy ~strategy ~n ~beta ~seed =
+  let rng = Rng.create seed in
+  let params = Aetree_params.default n in
+  let slot_party = Aetree_tree.assignment params (Rng.of_label rng "assignment") in
+  (* provisional committees: the strategy may only rely on the assignment
+     (committees are elected post-corruption) *)
+  let tree =
+    Aetree_tree.build params ~slot_party ~committee_rng:(Rng.of_label rng "provisional")
+  in
+  Attacks.corrupt_set tree ~strategy
+    ~budget:(int_of_float (beta *. float_of_int n))
+    ~rng:(Rng.of_label rng "attack")
+
+let run_under_attack ~strategy ~n ~beta ~seed : row =
+  let corrupt = corrupt_by_strategy ~strategy ~n ~beta ~seed in
+  let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+  let cfg = Balanced_ba.default_config ~n ~corrupt ~inputs ~seed () in
+  let r = Ba_snark.run cfg in
+  {
+    r_protocol = "this-work-snark/" ^ Attacks.strategy_name strategy;
+    r_n = n;
+    r_beta = beta;
+    r_rounds = r.Balanced_ba.report.Metrics.rounds;
+    r_max_bytes = r.Balanced_ba.report.Metrics.max_bytes;
+    r_mean_bytes = r.Balanced_ba.report.Metrics.mean_bytes;
+    r_p50_bytes = r.Balanced_ba.report.Metrics.p50_bytes;
+    r_p95_bytes = r.Balanced_ba.report.Metrics.p95_bytes;
+    r_total_bytes = r.Balanced_ba.report.Metrics.total_bytes;
+    r_locality = r.Balanced_ba.report.Metrics.max_locality;
+    r_ok = r.Balanced_ba.agreed && r.Balanced_ba.decided_fraction > 0.99;
+    r_note =
+      Printf.sprintf "decided=%.2f%s" r.Balanced_ba.decided_fraction
+        (if r.Balanced_ba.tree_good then "" else " tree-degraded");
+  }
+
+(* --- Table 1 (measured): all protocols at a fixed n --- *)
+
+let table1 ?(ns = [ 64; 128; 256 ]) ?(beta = 0.1) ?(seed = 1) () =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Table 1 (measured): almost-everywhere -> everywhere, beta=%.2f" beta)
+      ~headers:
+        [ "protocol"; "n"; "rounds"; "max KiB/party"; "mean KiB"; "total MiB";
+          "locality"; "ok"; "note" ]
+      ~aligns:
+        [ Tablefmt.Left; Right; Right; Right; Right; Right; Right; Left; Left ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun protocol ->
+          let r = run ~protocol ~n ~beta ~seed in
+          Tablefmt.add_row t
+            [
+              r.r_protocol;
+              string_of_int r.r_n;
+              string_of_int r.r_rounds;
+              Tablefmt.fkib r.r_max_bytes;
+              Tablefmt.fkib (int_of_float r.r_mean_bytes);
+              Printf.sprintf "%.1f" (float_of_int r.r_total_bytes /. 1048576.);
+              string_of_int r.r_locality;
+              (if r.r_ok then "yes" else "NO");
+              r.r_note;
+            ])
+        all_protocols)
+    ns;
+  t
+
+(* --- scaling sweep: per-party communication vs n, with fitted growth
+   exponents (the shape that distinguishes polylog / sqrt / linear) --- *)
+
+type sweep_result = {
+  s_protocol : string;
+  s_points : (int * row) list;
+  s_slope_max : float; (* fitted d log(max bytes) / d log n *)
+  s_slope_mean : float;
+  s_slope_locality : float;
+}
+
+let sweep ~protocol ~ns ~beta ~seed =
+  let points = List.map (fun n -> (n, run ~protocol ~n ~beta ~seed)) ns in
+  let fit f =
+    Mathx.loglog_slope
+      (List.map (fun (n, r) -> (float_of_int n, f r)) points)
+  in
+  {
+    s_protocol = protocol_name protocol;
+    s_points = points;
+    s_slope_max = fit (fun r -> float_of_int r.r_max_bytes);
+    s_slope_mean = fit (fun r -> r.r_mean_bytes);
+    s_slope_locality = fit (fun r -> float_of_int r.r_locality);
+  }
+
+let sweep_table ?(ns = [ 64; 128; 256; 512 ]) ?(beta = 0.1) ?(seed = 1)
+    ?(protocols = all_protocols) () =
+  let t =
+    Tablefmt.create
+      ~title:"Scaling sweep: max per-party communication vs n (fitted exponent)"
+      ~headers:
+        ("protocol"
+        :: List.map (fun n -> Printf.sprintf "n=%d" n) ns
+        @ [ "slope(max)"; "slope(mean)"; "slope(loc)" ])
+      ~aligns:
+        (Tablefmt.Left
+        :: List.map (fun _ -> Tablefmt.Right) ns
+        @ [ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ])
+  in
+  List.iter
+    (fun protocol ->
+      let s = sweep ~protocol ~ns ~beta ~seed in
+      Tablefmt.add_row t
+        (s.s_protocol
+        :: List.map (fun (_, r) -> Tablefmt.fkib r.r_max_bytes) s.s_points
+        @ [ Tablefmt.f2 s.s_slope_max; Tablefmt.f2 s.s_slope_mean;
+            Tablefmt.f2 s.s_slope_locality ]))
+    protocols;
+  t

@@ -1,0 +1,65 @@
+(** Experiment orchestration: runs every protocol of Table 1 under identical
+    conditions on the metered network and renders the measured rows.
+    bench/main.ml and bin/ba_sim.ml are thin wrappers over this module. *)
+
+type protocol =
+  | This_work_owf  (** Fig. 3 over the OWF/trusted-PKI SRDS *)
+  | This_work_snark  (** Fig. 3 over the SNARK/bare-PKI SRDS *)
+  | Multisig_boost  (** the same pipeline over Theta(n) multisig certs [13] *)
+  | Sqrt_boost  (** KS'09-style quorums, Theta~(sqrt n) per party *)
+  | Naive_boost  (** flooding, Theta(n) per party *)
+
+val all_protocols : protocol list
+val protocol_name : protocol -> string
+val protocol_of_name : string -> protocol option
+
+type row = {
+  r_protocol : string;
+  r_n : int;
+  r_beta : float;
+  r_rounds : int;
+  r_max_bytes : int;  (** max per-party sent+received bytes (honest) *)
+  r_mean_bytes : float;
+  r_p50_bytes : float;
+  r_p95_bytes : float;
+  r_total_bytes : int;
+  r_locality : int;
+  r_ok : bool;  (** agreement/validity held *)
+  r_note : string;
+}
+
+val run : protocol:protocol -> n:int -> beta:float -> seed:int -> row
+
+val corrupt_by_strategy :
+  strategy:Repro_aetree.Attacks.strategy -> n:int -> beta:float -> seed:int ->
+  int list
+(** The corrupt set a setup-aware adversary picks after seeing the public
+    slot assignment (committees are elected post-corruption). *)
+
+val run_under_attack :
+  strategy:Repro_aetree.Attacks.strategy -> n:int -> beta:float -> seed:int ->
+  row
+(** E14: the full SNARK-instantiated protocol against that adversary. *)
+
+val table1 :
+  ?ns:int list -> ?beta:float -> ?seed:int -> unit -> Repro_util.Tablefmt.t
+(** The measured Table 1: every protocol at each n. *)
+
+type sweep_result = {
+  s_protocol : string;
+  s_points : (int * row) list;
+  s_slope_max : float;  (** fitted d log(max bytes) / d log n *)
+  s_slope_mean : float;
+  s_slope_locality : float;
+}
+
+val sweep :
+  protocol:protocol -> ns:int list -> beta:float -> seed:int -> sweep_result
+
+val sweep_table :
+  ?ns:int list ->
+  ?beta:float ->
+  ?seed:int ->
+  ?protocols:protocol list ->
+  unit ->
+  Repro_util.Tablefmt.t

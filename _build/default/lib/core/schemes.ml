@@ -1,0 +1,20 @@
+(* Sealed views of the SRDS constructions: checks, at compile time, that
+   each construction implements the full SRDS interface (Def. 2.1), and
+   gives downstream code scheme-agnostic handles. *)
+
+module Owf : Srds_intf.SCHEME = Srds_owf
+module Snark_based : Srds_intf.SCHEME = Srds_snark
+module Snark_ablated : Srds_intf.SCHEME = Srds_snark_ablated
+module Vrf_based : Srds_intf.SCHEME = Srds_vrf
+
+type packed = Packed : (module Srds_intf.SCHEME) -> packed
+
+let all =
+  [ Packed (module Srds_owf); Packed (module Srds_snark); Packed (module Srds_vrf) ]
+
+let by_name = function
+  | "srds-owf" | "owf" -> Some (Packed (module Srds_owf))
+  | "srds-snark" | "snark" -> Some (Packed (module Srds_snark))
+  | "srds-vrf" | "vrf" -> Some (Packed (module Srds_vrf))
+  | "srds-snark-ablated" | "ablated" -> Some (Packed (module Srds_snark_ablated))
+  | _ -> None

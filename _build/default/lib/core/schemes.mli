@@ -1,0 +1,15 @@
+(** Sealed views of the SRDS constructions (compile-time check that each
+    implements Def. 2.1) and a name-indexed registry for the CLI. *)
+
+module Owf : Srds_intf.SCHEME
+module Snark_based : Srds_intf.SCHEME
+module Snark_ablated : Srds_intf.SCHEME
+module Vrf_based : Srds_intf.SCHEME
+
+type packed = Packed : (module Srds_intf.SCHEME) -> packed
+
+val all : packed list
+(** The production schemes (the deliberately insecure ablated variant is
+    excluded). *)
+
+val by_name : string -> packed option

@@ -1,0 +1,431 @@
+(* Executable versions of the paper's security games:
+
+   - Figure 1, Expt^robust: the adversary corrupts up to t parties after
+     seeing all verification keys (replacing keys in bare-PKI mode), picks
+     an (n, I) almost-everywhere-communication tree, a message m and
+     per-isolated-party messages m_i, contributes the corrupt parties'
+     signatures, and supplies the partial aggregates of every *bad* node
+     while the challenger aggregates at good nodes. The adversary wins if
+     the root signature fails verification.
+
+   - Figure 2, Expt^forge: the adversary picks S (honest parties signing
+     adversary-chosen messages) with |S ∪ I| < n/3, receives all honest
+     signatures, and must output a verifying signature on some m' ≠ m.
+
+   Both games are parameterized by an adversary record so that the test
+   suite and the benches can run a canonical attack portfolio (silent,
+   garbage-injecting, duplicate-replaying, message-substituting). *)
+
+module Rng = Repro_util.Rng
+module Tree = Repro_aetree.Tree
+module Params = Repro_aetree.Params
+
+module Make (S : Srds_intf.SCHEME) = struct
+  module W = Srds_intf.Wire (S)
+
+  type ctx = {
+    rng : Rng.t;
+    n : int;
+    t : int;
+    pp : S.pp;
+    vks : bytes array; (* after bare-PKI replacement *)
+    sks : S.sk array;
+    corrupt : bool array;
+  }
+
+  (* Fig. 1 / Fig. 2 phase A: setup and adaptive corruption. The adversary
+     sees all verification keys before choosing whom to corrupt; in bare-PKI
+     mode it may substitute corrupted keys. *)
+  let prepare ~seed ~n ~t ~choose_corrupt ~replace_key =
+    let rng = Rng.create seed in
+    let pp, master = S.setup rng ~n in
+    let pairs = Array.init n (fun i -> S.keygen pp master rng ~index:i) in
+    let vks = Array.map fst pairs in
+    let sks = Array.map snd pairs in
+    let corrupt_list = choose_corrupt ~rng ~vks in
+    if List.length corrupt_list > t then invalid_arg "adversary corrupts too many";
+    let corrupt = Array.make n false in
+    List.iter (fun i -> corrupt.(i) <- true) corrupt_list;
+    if S.pki = `Bare then
+      List.iter
+        (fun i ->
+          match replace_key ~rng ~index:i ~sk:sks.(i) with
+          | Some vk' -> vks.(i) <- vk'
+          | None -> ())
+        corrupt_list;
+    { rng; n; t; pp; vks; sks; corrupt }
+
+  let default_corrupt ~count ~rng ~vks =
+    Rng.subset rng ~n:(Array.length vks) ~size:count
+
+  (* --- Figure 1: robustness --- *)
+
+  type robustness_adversary = {
+    ra_name : string;
+    ra_choose_corrupt : rng:Rng.t -> vks:bytes array -> int list;
+    ra_replace_key : rng:Rng.t -> index:int -> sk:S.sk -> bytes option;
+    ra_tree : ctx -> Tree.t; (* must satisfy Defs. 2.3/3.4 for (n, I) *)
+    ra_msg : ctx -> bytes;
+    ra_iso_msg : ctx -> int -> bytes; (* m_i for isolated honest parties *)
+    ra_corrupt_sigs :
+      ctx -> msg:bytes -> honest_sigs:(int * S.signature) list -> (int * S.signature) list;
+    ra_bad_node :
+      ctx ->
+      msg:bytes ->
+      level:int ->
+      idx:int ->
+      children:S.signature list ->
+      S.signature option;
+  }
+
+  (* Def. 2.3 tree with z = 1: each party sits in exactly one leaf, and the
+     game identifies party i with virtual ID i (identity slot assignment),
+     so scheme indices and tree slots coincide. [n] is rounded up to a
+     multiple of the leaf size. *)
+  let rec game_params ~n =
+    let lg = max 2 (Repro_util.Mathx.log2_ceil n) in
+    let leaf_size = 3 * lg in
+    let num_leaves = Repro_util.Mathx.ceil_div n leaf_size in
+    let n' = num_leaves * leaf_size in
+    if n' = n then
+      Params.make ~n ~z:1 ~leaf_size
+        ~committee_size:(max 8 (3 * lg))
+        ~branching:(max 2 lg)
+    else game_params ~n:n'
+
+  (* Identity-assignment tree with committees drawn by [rng]. *)
+  let game_tree params rng =
+    let n = params.Params.n in
+    Tree.make_custom params
+      ~slot_party:(Array.init params.Params.num_slots (fun s -> s))
+      ~committee_of:(fun ~level:_ ~idx:_ ->
+        Array.of_list
+          (Rng.subset rng ~n ~size:(min n params.Params.committee_size)))
+
+  (* The challenger's view of one robustness game run. *)
+  type robustness_result = {
+    r_accepted : bool; (* true = robustness held *)
+    r_root_count : int option; (* base signatures the root aggregate attests *)
+    r_tree_valid : bool;
+  }
+
+  let passive_adversary ~t : robustness_adversary =
+    {
+      ra_name = "passive";
+      ra_choose_corrupt = (fun ~rng ~vks -> default_corrupt ~count:t ~rng ~vks);
+      ra_replace_key = (fun ~rng:_ ~index:_ ~sk:_ -> None);
+      ra_tree = (fun ctx -> game_tree (game_params ~n:ctx.n) ctx.rng);
+      ra_msg = (fun _ -> Bytes.of_string "the-agreed-message");
+      ra_iso_msg = (fun _ i -> Bytes.of_string (Printf.sprintf "isolated-%d" i));
+      ra_corrupt_sigs =
+        (fun ctx ~msg ~honest_sigs:_ ->
+          (* corrupt parties sign honestly *)
+          List.filter_map
+            (fun i ->
+              if ctx.corrupt.(i) then
+                Option.map (fun s -> (i, s)) (S.sign ctx.pp ctx.sks.(i) ~index:i ~msg)
+              else None)
+            (List.init ctx.n (fun i -> i)));
+      ra_bad_node =
+        (fun ctx ~msg ~level:_ ~idx:_ ~children ->
+          let filtered = S.aggregate1 ctx.pp ~vks:ctx.vks ~msg children in
+          S.aggregate2 ctx.pp ~msg filtered);
+    }
+
+  let silent_adversary ~t : robustness_adversary =
+    {
+      (passive_adversary ~t) with
+      ra_name = "silent";
+      ra_corrupt_sigs = (fun _ ~msg:_ ~honest_sigs:_ -> []);
+      ra_bad_node = (fun _ ~msg:_ ~level:_ ~idx:_ ~children:_ -> None);
+    }
+
+  let garbage_adversary ~t : robustness_adversary =
+    {
+      (passive_adversary ~t) with
+      ra_name = "garbage";
+      ra_corrupt_sigs =
+        (fun ctx ~msg:_ ~honest_sigs:_ ->
+          (* random bytes masquerading as signatures *)
+          List.filter_map
+            (fun i ->
+              if ctx.corrupt.(i) then
+                match W.of_bytes (Rng.bytes ctx.rng 64) with
+                | Some sg -> Some (i, sg)
+                | None -> None
+              else None)
+            (List.init ctx.n (fun i -> i)));
+      ra_bad_node =
+        (fun ctx ~msg:_ ~level:_ ~idx:_ ~children:_ ->
+          W.of_bytes (Rng.bytes ctx.rng 128));
+    }
+
+  (* Bad nodes replay their first child twice — the duplicate-aggregation
+     attack the range encoding defends against; robustness must still hold
+     (the root aggregate filters the duplicates out). *)
+  let duplicate_adversary ~t : robustness_adversary =
+    {
+      (passive_adversary ~t) with
+      ra_name = "duplicate";
+      ra_bad_node =
+        (fun ctx ~msg ~level:_ ~idx:_ ~children ->
+          let doubled = children @ children in
+          let filtered = S.aggregate1 ctx.pp ~vks:ctx.vks ~msg doubled in
+          S.aggregate2 ctx.pp ~msg filtered);
+    }
+
+  (* Concentrate corruptions on whole leaves (within the Def. 2.3 budget of
+     bad leaves): the honest parties stranded there become the isolated set
+     N, sign adversary-chosen messages m_i, and the game checks that the
+     root aggregate on m still verifies without them. *)
+  let isolating_adversary ~t : robustness_adversary =
+    let base = passive_adversary ~t in
+    {
+      base with
+      ra_name = "isolating";
+      ra_choose_corrupt =
+        (fun ~rng:_ ~vks ->
+          let n = Array.length vks in
+          let params = game_params ~n in
+          let leaf = params.Params.leaf_size in
+          let lg = max 2 (Repro_util.Mathx.log2_ceil n) in
+          let max_bad_leaves =
+            max 1 (int_of_float (3.0 /. float_of_int lg *. float_of_int params.Params.num_leaves))
+          in
+          (* corrupt ceil(leaf/3) parties of each targeted leaf *)
+          let per_leaf = (leaf / 3) + 1 in
+          let budget = ref t and acc = ref [] in
+          let k = ref 0 in
+          while !budget >= per_leaf && !k < max_bad_leaves do
+            let lo = !k * leaf in
+            for j = 0 to per_leaf - 1 do
+              acc := (lo + j) :: !acc
+            done;
+            budget := !budget - per_leaf;
+            incr k
+          done;
+          List.rev !acc);
+      ra_iso_msg =
+        (fun _ i -> Bytes.of_string (Printf.sprintf "isolated-divergent-%d" i));
+    }
+
+  let robustness ?(n = 128) ?(t = 16) ~seed (adv : robustness_adversary) =
+    (* Round n so that party = virtual ID = slot throughout the game. *)
+    let n = (game_params ~n).Params.n in
+    let ctx =
+      prepare ~seed ~n ~t
+        ~choose_corrupt:(fun ~rng ~vks -> adv.ra_choose_corrupt ~rng ~vks)
+        ~replace_key:(fun ~rng ~index ~sk -> adv.ra_replace_key ~rng ~index ~sk)
+    in
+    let tree = adv.ra_tree ctx in
+    let corrupt_party p = ctx.corrupt.(p) in
+    let tree_valid = Repro_aetree.Tree_check.check tree ~corrupt:corrupt_party = [] in
+    let msg = adv.ra_msg ctx in
+    (* honest parties on leaves without good paths sign adversary-chosen
+       messages (they are isolated and may be fed anything) *)
+    let params = Tree.params tree in
+    let leaf_good = Array.init params.Params.num_leaves (Tree.has_good_path tree ~corrupt:corrupt_party) in
+    let sign_slot s =
+      let p = Tree.slot_party tree s in
+      if corrupt_party p then None
+      else begin
+        let m =
+          if leaf_good.(Params.leaf_of_slot params s) then msg else adv.ra_iso_msg ctx p
+        in
+        Option.map (fun sg -> (s, sg)) (S.sign ctx.pp ctx.sks.(s) ~index:s ~msg:m)
+      end
+    in
+    (* NOTE: keys in this game are per-slot (the scheme's parties are the
+       virtual parties); slot s is corrupt iff its owner party is. *)
+    let honest_sigs = List.filter_map sign_slot (List.init params.Params.num_slots (fun s -> s)) in
+    let corrupt_sigs = adv.ra_corrupt_sigs ctx ~msg ~honest_sigs in
+    let sig_of_slot = Hashtbl.create 256 in
+    List.iter (fun (s, sg) -> Hashtbl.replace sig_of_slot s sg) honest_sigs;
+    List.iter (fun (s, sg) -> Hashtbl.replace sig_of_slot s sg) corrupt_sigs;
+    (* aggregate up the tree *)
+    let height = params.Params.height in
+    let level_sigs = Hashtbl.create 64 in
+    (* leaves: level 1 *)
+    for k = 0 to params.Params.num_leaves - 1 do
+      let lo, hi = Params.leaf_slot_range params k in
+      let base =
+        List.filter_map (fun s -> Hashtbl.find_opt sig_of_slot s) (List.init (hi - lo + 1) (fun d -> lo + d))
+      in
+      let sg =
+        if Tree.is_good tree ~corrupt:corrupt_party ~level:1 ~idx:k then
+          S.aggregate2 ctx.pp ~msg (S.aggregate1 ctx.pp ~vks:ctx.vks ~msg base)
+        else adv.ra_bad_node ctx ~msg ~level:1 ~idx:k ~children:base
+      in
+      match sg with Some sg -> Hashtbl.replace level_sigs (1, k) sg | None -> ()
+    done;
+    for level = 2 to height do
+      for idx = 0 to Tree.nodes_at_level tree ~level - 1 do
+        let children =
+          List.filter_map
+            (fun c -> Hashtbl.find_opt level_sigs (level - 1, c))
+            (Tree.children tree ~level ~idx)
+        in
+        let sg =
+          if Tree.is_good tree ~corrupt:corrupt_party ~level ~idx then
+            S.aggregate2 ctx.pp ~msg (S.aggregate1 ctx.pp ~vks:ctx.vks ~msg children)
+          else adv.ra_bad_node ctx ~msg ~level ~idx ~children
+        in
+        match sg with Some sg -> Hashtbl.replace level_sigs (level, idx) sg | None -> ()
+      done
+    done;
+    let root = Hashtbl.find_opt level_sigs (height, 0) in
+    {
+      r_accepted =
+        (match root with
+        | Some sg -> S.verify ctx.pp ~vks:ctx.vks ~msg sg
+        | None -> false);
+      r_root_count = Option.map S.count root;
+      r_tree_valid = tree_valid;
+    }
+
+  (* --- Figure 2: forgery --- *)
+
+  type forgery_adversary = {
+    fa_name : string;
+    fa_choose_corrupt : rng:Rng.t -> vks:bytes array -> int list;
+    fa_replace_key : rng:Rng.t -> index:int -> sk:S.sk -> bytes option;
+    fa_choose_s : ctx -> int list; (* S: honest parties signing chosen msgs *)
+    fa_msg : ctx -> bytes;
+    fa_s_msg : ctx -> int -> bytes; (* m_i for i in S *)
+    fa_forge :
+      ctx ->
+      msg:bytes ->
+      honest_sigs_on_msg:(int * S.signature) list ->
+      s_sigs:(int * S.signature) list ->
+      (bytes * S.signature) option; (* (m', sigma') *)
+  }
+
+  type forgery_result = {
+    f_win : bool; (* adversary produced accepting sigma' on m' <> m *)
+    f_detail : string;
+  }
+
+  let forgery ?(n = 128) ?(t = 16) ~seed (adv : forgery_adversary) =
+    let ctx =
+      prepare ~seed ~n ~t
+        ~choose_corrupt:(fun ~rng ~vks -> adv.fa_choose_corrupt ~rng ~vks)
+        ~replace_key:(fun ~rng ~index ~sk -> adv.fa_replace_key ~rng ~index ~sk)
+    in
+    let s_set = adv.fa_choose_s ctx in
+    List.iter
+      (fun i -> if ctx.corrupt.(i) then invalid_arg "S must be honest parties")
+      s_set;
+    let corrupt_count = Array.fold_left (fun a c -> if c then a + 1 else a) 0 ctx.corrupt in
+    if 3 * (List.length s_set + corrupt_count) >= ctx.n then
+      invalid_arg "|S ∪ I| must be < n/3";
+    let msg = adv.fa_msg ctx in
+    let honest_sigs_on_msg =
+      List.filter_map
+        (fun i ->
+          if ctx.corrupt.(i) || List.mem i s_set then None
+          else Option.map (fun sg -> (i, sg)) (S.sign ctx.pp ctx.sks.(i) ~index:i ~msg))
+        (List.init ctx.n (fun i -> i))
+    in
+    let s_sigs =
+      List.filter_map
+        (fun i ->
+          Option.map (fun sg -> (i, sg)) (S.sign ctx.pp ctx.sks.(i) ~index:i ~msg:(adv.fa_s_msg ctx i)))
+        s_set
+    in
+    match adv.fa_forge ctx ~msg ~honest_sigs_on_msg ~s_sigs with
+    | None -> { f_win = false; f_detail = "adversary aborted" }
+    | Some (m', sigma') ->
+      if Bytes.equal m' msg then { f_win = false; f_detail = "m' = m" }
+      else if S.verify ctx.pp ~vks:ctx.vks ~msg:m' sigma' then
+        { f_win = true; f_detail = "forged signature accepted" }
+      else { f_win = false; f_detail = "forgery rejected" }
+
+  (* Canonical forgery adversaries. *)
+
+  let base_forgery ~t ~s_count : forgery_adversary =
+    {
+      fa_name = "base";
+      fa_choose_corrupt = (fun ~rng ~vks -> default_corrupt ~count:t ~rng ~vks);
+      fa_replace_key = (fun ~rng:_ ~index:_ ~sk:_ -> None);
+      fa_choose_s =
+        (fun ctx ->
+          let honest =
+            List.filter (fun i -> not (ctx.corrupt.(i))) (List.init ctx.n (fun i -> i))
+          in
+          List.filteri (fun k _ -> k < s_count) honest);
+      fa_msg = (fun _ -> Bytes.of_string "target-message");
+      fa_s_msg = (fun _ _ -> Bytes.of_string "other-message");
+      fa_forge = (fun _ ~msg:_ ~honest_sigs_on_msg:_ ~s_sigs:_ -> None);
+    }
+
+  (* Replay an aggregate of honest signatures on m as if it signed m'. *)
+  let replay_adversary ~t ~s_count : forgery_adversary =
+    {
+      (base_forgery ~t ~s_count) with
+      fa_name = "replay";
+      fa_forge =
+        (fun ctx ~msg ~honest_sigs_on_msg ~s_sigs:_ ->
+          let sigs = List.map snd honest_sigs_on_msg in
+          let agg =
+            S.aggregate2 ctx.pp ~msg (S.aggregate1 ctx.pp ~vks:ctx.vks ~msg sigs)
+          in
+          Option.map (fun sg -> (Bytes.of_string "replayed-message", sg)) agg);
+    }
+
+  (* Aggregate the minority coalition's signatures (corrupt + S) on m'. *)
+  let minority_adversary ~t ~s_count : forgery_adversary =
+    let m' = Bytes.of_string "other-message" in
+    {
+      (base_forgery ~t ~s_count) with
+      fa_name = "minority";
+      fa_forge =
+        (fun ctx ~msg:_ ~honest_sigs_on_msg:_ ~s_sigs ->
+          let own =
+            List.filter_map
+              (fun i ->
+                if ctx.corrupt.(i) then S.sign ctx.pp ctx.sks.(i) ~index:i ~msg:m'
+                else None)
+              (List.init ctx.n (fun i -> i))
+          in
+          let sigs = own @ List.map snd s_sigs in
+          let agg = S.aggregate2 ctx.pp ~msg:m' (S.aggregate1 ctx.pp ~vks:ctx.vks ~msg:m' sigs) in
+          Option.map (fun sg -> (m', sg)) agg);
+    }
+
+  (* Duplicate-inflation: aggregate the minority coalition's signatures many
+     times over, trying to clear the count threshold by replays. Defeated by
+     the range encoding in the real schemes; succeeds against the ablated
+     scheme (Sec. 2.2's motivating attack). *)
+  let duplicate_inflation_adversary ~t ~s_count ~copies : forgery_adversary =
+    let m' = Bytes.of_string "other-message" in
+    {
+      (base_forgery ~t ~s_count) with
+      fa_name = "duplicate-inflation";
+      fa_forge =
+        (fun ctx ~msg:_ ~honest_sigs_on_msg:_ ~s_sigs ->
+          let own =
+            List.filter_map
+              (fun i ->
+                if ctx.corrupt.(i) then S.sign ctx.pp ctx.sks.(i) ~index:i ~msg:m'
+                else None)
+              (List.init ctx.n (fun i -> i))
+          in
+          let coalition = own @ List.map snd s_sigs in
+          (* first make one legitimate partial aggregate... *)
+          let partial =
+            S.aggregate2 ctx.pp ~msg:m' (S.aggregate1 ctx.pp ~vks:ctx.vks ~msg:m' coalition)
+          in
+          match partial with
+          | None -> None
+          | Some partial ->
+            (* ...then feed [copies] copies of it back into aggregation *)
+            let rec inflate sg k =
+              if k = 0 then Some sg
+              else
+                match S.aggregate2 ctx.pp ~msg:m' [ sg; sg ] with
+                | Some sg' -> inflate sg' (k - 1)
+                | None -> Some sg
+            in
+            Option.map (fun sg -> (m', sg)) (inflate partial copies));
+    }
+end

@@ -1,0 +1,76 @@
+(* SRDS — succinctly reconstructed distributed signatures (paper Def. 2.1).
+
+   A scheme for N (virtual) parties is a quintuple
+   (Setup, KeyGen, Sign, Aggregate = Aggregate2 ∘ Aggregate1, Verify) such
+   that a final aggregate certifies that a majority of parties signed the
+   message, while every signature (base or aggregated) stays
+   polylog(N)·poly(kappa) bits and aggregation proceeds in polylog-size
+   batches (Def. 2.2 succinctness/decomposability).
+
+   Per the paper's convention, every signature encodes the minimum and
+   maximum virtual index it covers ([min_index]/[max_index]); the BA
+   protocol's range checks (Fig. 3 step 5c) and the duplicate-aggregation
+   defense rely on them.
+
+   [setup] returns public parameters plus a [master] value: the trusted
+   dealer's secret state for trusted-PKI schemes (the sortition key), unit
+   for bare-PKI schemes where parties run [keygen] themselves. *)
+
+module type SCHEME = sig
+  val name : string
+
+  val pki : [ `Trusted | `Bare ]
+  (** Trusted PKI: keys honestly generated, corrupt parties cannot replace
+      them. Bare PKI: corrupt parties may substitute their verification
+      keys after seeing all public information (paper Sec. 1.2). *)
+
+  type pp
+  type master
+  type sk
+  type signature
+
+  val setup : Repro_util.Rng.t -> n:int -> pp * master
+  (** Public parameters for [n] virtual parties. *)
+
+  val keygen : pp -> master -> Repro_util.Rng.t -> index:int -> bytes * sk
+  (** Key pair for one virtual index; the verification key is public bytes. *)
+
+  val sign : pp -> sk -> index:int -> msg:bytes -> signature option
+  (** [None] when this party cannot sign (e.g. it holds an oblivious key in
+      the sortition construction). *)
+
+  val aggregate1 :
+    pp -> vks:bytes array -> msg:bytes -> signature list -> signature list
+  (** Deterministic filter: drop invalid/duplicate inputs using the
+      verification keys (Def. 2.2 decomposability, first half). *)
+
+  val aggregate2 : pp -> msg:bytes -> signature list -> signature option
+  (** Combine filtered signatures without touching the n verification keys
+      (Def. 2.2, second half). [None] on structurally unaggregatable input. *)
+
+  val verify : pp -> vks:bytes array -> msg:bytes -> signature -> bool
+  (** Accept iff the signature attests a majority of base signers on [msg]. *)
+
+  val verify_partial : pp -> vks:bytes array -> msg:bytes -> signature -> bool
+  (** Validity of an intermediate (not necessarily majority) signature —
+      what [aggregate1] enforces on each input. *)
+
+  val min_index : signature -> int
+  val max_index : signature -> int
+
+  val count : signature -> int
+  (** Number of base signatures the signature attests. *)
+
+  val threshold : pp -> int
+  (** Base-signature count an accepting aggregate must reach. *)
+
+  val encode_sig : Repro_util.Encode.sink -> signature -> unit
+  val decode_sig : Repro_util.Encode.source -> signature
+end
+
+(* Convenience: wire helpers shared by all schemes. *)
+module Wire (S : SCHEME) = struct
+  let to_bytes sg = Repro_util.Encode.to_bytes (fun b -> S.encode_sig b sg)
+  let of_bytes data = Repro_util.Encode.decode data S.decode_sig
+  let size sg = Bytes.length (to_bytes sg)
+end

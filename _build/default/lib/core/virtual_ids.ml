@@ -1,0 +1,44 @@
+(* The idmap of Fig. 3's setup: each real party i holds z virtual identities
+   (i, j), mapped to virtual IDs in [0, n*z) such that the virtual IDs
+   assigned to the k-th leaf node occupy the contiguous range
+   [k*z*, (k+1)*z* - 1]. With that property, drawing the tree flat puts
+   level-0 virtual IDs in increasing order, which is what the min/max range
+   checks of step 5(c) rely on.
+
+   In this codebase the map is carried by the tree itself: virtual ID =
+   slot index, and Tree.slot_party gives the owner. This module wraps that
+   correspondence under the paper's (i, j) <-> i* vocabulary. *)
+
+module Tree = Repro_aetree.Tree
+module Params = Repro_aetree.Params
+
+type t = { tree : Tree.t }
+
+let of_tree tree = { tree }
+
+let num_virtual t = (Tree.params t.tree).Params.num_slots
+
+(* The j-th virtual identity of party i (0-based j). *)
+let idmap t ~party ~copy =
+  let slots = Tree.party_slots t.tree party in
+  match List.nth_opt slots copy with
+  | Some s -> s
+  | None -> invalid_arg "Virtual_ids.idmap: copy out of range"
+
+let copies t ~party = Tree.party_slots t.tree party
+
+let owner t ~virtual_id = Tree.slot_party t.tree virtual_id
+
+let leaf_of t ~virtual_id = Params.leaf_of_slot (Tree.params t.tree) virtual_id
+
+(* Check the contiguity property (used by tests and Tree_check). *)
+let leaf_contiguous t =
+  let params = Tree.params t.tree in
+  let ok = ref true in
+  for k = 0 to params.Params.num_leaves - 1 do
+    let lo, hi = Params.leaf_slot_range params k in
+    for s = lo to hi do
+      if Params.leaf_of_slot params s <> k then ok := false
+    done
+  done;
+  !ok

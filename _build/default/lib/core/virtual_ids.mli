@@ -1,0 +1,19 @@
+(** The idmap of Fig. 3: party i's j-th virtual identity <-> virtual ID in
+    [0, n*z), with leaf-contiguous ranges. Carried by the tree (virtual ID =
+    slot index); this module provides the paper's (i, j) vocabulary. *)
+
+type t
+
+val of_tree : Repro_aetree.Tree.t -> t
+val num_virtual : t -> int
+
+val idmap : t -> party:int -> copy:int -> int
+(** The virtual ID of party [party]'s [copy]-th identity (0-based).
+    Raises [Invalid_argument] when [copy] is out of range. *)
+
+val copies : t -> party:int -> int list
+val owner : t -> virtual_id:int -> int
+val leaf_of : t -> virtual_id:int -> int
+
+val leaf_contiguous : t -> bool
+(** Checks the Fig. 3 contiguity requirement (used by tests). *)

@@ -1,0 +1,1 @@
+lib/crypto/commit.ml: Bytes Hashx Repro_util

@@ -1,0 +1,1 @@
+lib/crypto/field.ml: Int List Repro_util

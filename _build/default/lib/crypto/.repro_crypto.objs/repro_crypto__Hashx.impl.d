@@ -1,0 +1,1 @@
+lib/crypto/hashx.ml: Bytes Char Sha256 String

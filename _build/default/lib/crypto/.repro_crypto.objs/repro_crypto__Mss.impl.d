@@ -1,0 +1,1 @@
+lib/crypto/mss.ml: Array Bytes Merkle Prf Repro_util Wots

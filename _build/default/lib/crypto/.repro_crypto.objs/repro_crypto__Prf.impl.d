@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Buffer Bytes Hashtbl Hashx Hmac List

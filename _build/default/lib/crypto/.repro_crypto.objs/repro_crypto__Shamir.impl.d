@@ -1,0 +1,1 @@
+lib/crypto/shamir.ml: Field List

@@ -1,0 +1,1 @@
+lib/crypto/sortition.ml: Bytes Hashx List Prf

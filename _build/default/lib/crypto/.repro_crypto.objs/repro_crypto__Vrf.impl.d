@@ -1,0 +1,1 @@
+lib/crypto/vrf.ml: Bytes Hashx Hmac Repro_util

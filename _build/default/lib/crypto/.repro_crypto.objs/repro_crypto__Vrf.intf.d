@@ -1,0 +1,1 @@
+lib/crypto/vrf.mli: Repro_util

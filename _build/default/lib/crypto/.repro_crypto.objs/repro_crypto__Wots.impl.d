@@ -1,0 +1,1 @@
+lib/crypto/wots.ml: Array Bytes Char Hashtbl Hashx List Prf Printf Repro_util

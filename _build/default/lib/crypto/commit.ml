@@ -1,0 +1,29 @@
+(* Hash-based commitments: commit(m; r) = H("commit" || r || m).
+
+   Computationally hiding and binding under CRH. Used by the coin-toss
+   protocol (commitments to Shamir shares replace the error-corrected VSS of
+   Chor et al. — see the substitution table in DESIGN.md). *)
+
+type commitment = bytes
+type opening = { nonce : bytes; value : bytes }
+
+let nonce_len = Hashx.kappa_bytes
+
+let commit_with ~nonce value : commitment =
+  Hashx.hash ~tag:"commit" [ nonce; value ]
+
+let commit rng value =
+  let nonce = Repro_util.Rng.bytes rng nonce_len in
+  (commit_with ~nonce value, { nonce; value })
+
+let verify (c : commitment) (o : opening) =
+  Bytes.length o.nonce = nonce_len && Hashx.equal c (commit_with ~nonce:o.nonce o.value)
+
+let encode_opening b o =
+  Repro_util.Encode.bytes b o.nonce;
+  Repro_util.Encode.bytes b o.value
+
+let decode_opening src =
+  let nonce = Repro_util.Encode.r_bytes src in
+  let value = Repro_util.Encode.r_bytes src in
+  { nonce; value }

@@ -1,0 +1,63 @@
+(* Prime field GF(p) with p = 2^31 - 1 (Mersenne).
+
+   Used by Shamir secret sharing inside the committee coin toss. Products of
+   two field elements fit comfortably in OCaml's 63-bit native ints, so all
+   arithmetic is exact without big integers. A 31-bit field is a toy modulus
+   (documented in DESIGN.md); coin-toss outputs are stretched to kappa bits
+   by hashing several independent elements. *)
+
+let p = 0x7FFFFFFF (* 2^31 - 1 *)
+
+type t = int
+
+let of_int v =
+  let r = v mod p in
+  if r < 0 then r + p else r
+
+let to_int t = t
+
+let zero = 0
+let one = 1
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b =
+  let d = a - b in
+  if d < 0 then d + p else d
+
+let neg a = if a = 0 then 0 else p - a
+
+let mul a b = a * b mod p
+
+let rec pow a e =
+  if e = 0 then 1
+  else begin
+    let h = pow a (e / 2) in
+    let h2 = mul h h in
+    if e land 1 = 1 then mul h2 a else h2
+  end
+
+(* Fermat inverse: a^(p-2). *)
+let inv a =
+  if a = 0 then invalid_arg "Field.inv: zero";
+  pow a (p - 2)
+
+let div a b = mul a (inv b)
+
+let equal = Int.equal
+
+let random rng = Repro_util.Rng.int rng p
+
+(* Horner evaluation of a polynomial given by its coefficient list
+   (constant term first). *)
+let eval_poly coeffs x =
+  List.fold_right (fun c acc -> add c (mul acc x)) coeffs zero
+
+let encode b t = Repro_util.Encode.varint b t
+
+let decode src =
+  let v = Repro_util.Encode.r_varint src in
+  if v < 0 || v >= p then raise (Repro_util.Encode.Malformed "field element");
+  v

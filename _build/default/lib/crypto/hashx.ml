@@ -1,0 +1,36 @@
+(* Domain-separated, truncated hashing.
+
+   All higher-level primitives call these helpers instead of raw SHA-256 so
+   that (a) every use site carries a domain tag — hashes from different roles
+   can never collide across roles — and (b) the security parameter kappa is
+   set in one place. We run with kappa = 128 bits (16-byte digests), a toy
+   parameter documented in DESIGN.md that keeps large-n sweeps tractable;
+   nothing else in the code depends on the digest width. *)
+
+let kappa_bytes = 16
+
+(* H(tag || len(tag) || data), truncated to kappa. *)
+let hash ~tag parts =
+  let header = Bytes.of_string tag in
+  let len = Bytes.make 1 (Char.chr (String.length tag land 0xFF)) in
+  let full = Sha256.digest_list (len :: header :: parts) in
+  Bytes.sub full 0 kappa_bytes
+
+let hash_string ~tag s = hash ~tag [ Bytes.of_string s ]
+
+(* One compression-function call on exactly kappa bytes: the one-way function
+   of the WOTS chains. *)
+let f ~tag x = hash ~tag [ x ]
+
+let equal = Bytes.equal
+
+let to_hex = Sha256.hex
+
+(* Interpret the first 8 digest bytes as a non-negative int; used to derive
+   pseudorandom indices from digests. *)
+let to_int d =
+  let v = ref 0 in
+  for i = 0 to min 7 (Bytes.length d - 1) do
+    v := (!v lsl 8) lor Char.code (Bytes.get d i)
+  done;
+  !v land max_int

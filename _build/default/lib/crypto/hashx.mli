@@ -1,0 +1,18 @@
+(** Domain-separated hashing truncated to the security parameter
+    (kappa = 128 bits; see DESIGN.md on toy parameters). *)
+
+val kappa_bytes : int
+
+val hash : tag:string -> bytes list -> bytes
+(** [hash ~tag parts] is a kappa-byte digest of the tagged concatenation. *)
+
+val hash_string : tag:string -> string -> bytes
+
+val f : tag:string -> bytes -> bytes
+(** One-way function step used by hash chains. *)
+
+val equal : bytes -> bytes -> bool
+val to_hex : bytes -> string
+
+val to_int : bytes -> int
+(** First 8 digest bytes as a non-negative integer. *)

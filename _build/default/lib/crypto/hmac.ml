@@ -1,0 +1,25 @@
+(* HMAC-SHA256 (RFC 2104). Used by the PRF and as the authentication tag of
+   the simulated SNARK oracle (see lib/snark/snark.ml and DESIGN.md). *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let xor_pad key byte =
+  Bytes.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key data =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_pad key 0x36; data ] in
+  Sha256.digest_list [ xor_pad key 0x5C; inner ]
+
+let mac_parts ~key parts =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list (xor_pad key 0x36 :: parts) in
+  Sha256.digest_list [ xor_pad key 0x5C; inner ]
+
+let verify ~key ~data ~tag = Bytes.equal (mac ~key data) tag

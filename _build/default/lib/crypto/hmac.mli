@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:bytes -> bytes -> bytes
+(** 32-byte authentication tag. *)
+
+val mac_parts : key:bytes -> bytes list -> bytes
+val verify : key:bytes -> data:bytes -> tag:bytes -> bool

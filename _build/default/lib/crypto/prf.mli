@@ -1,0 +1,20 @@
+(** PRF family from HMAC: seed expansion, sub-key derivation, and the
+    F_s(i) pseudorandom party subsets of the BA protocol's final round. *)
+
+type key = bytes
+
+val of_seed : bytes -> key
+val eval : key:key -> bytes -> bytes
+val eval_parts : key:key -> bytes list -> bytes
+
+val expand : key:key -> label:string -> int -> bytes
+(** Counter-mode expansion into a pseudorandom byte string. *)
+
+val derive : key:key -> label:string -> key
+val to_int : key:key -> bytes -> int -> int
+
+val subset : key:key -> index:int -> n:int -> size:int -> int list
+(** [subset ~key ~index ~n ~size] is the deterministic pseudorandom set
+    F_key(index) ⊆ [0,n) \ [{index}] of the given size, sorted. *)
+
+val subset_mem : key:key -> index:int -> n:int -> size:int -> int -> bool

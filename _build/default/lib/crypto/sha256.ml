@@ -1,0 +1,168 @@
+(* SHA-256 (FIPS 180-4), implemented from the specification.
+
+   This is the collision-resistant hash underlying every other primitive in
+   the reproduction: WOTS/Merkle signatures, commitments, the PRF/HMAC, and
+   the CRH digest chaining inside the SNARK-based SRDS. Tested against the
+   NIST example vectors in test/test_sha256.ml. *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  mutable h0 : int32; mutable h1 : int32; mutable h2 : int32;
+  mutable h3 : int32; mutable h4 : int32; mutable h5 : int32;
+  mutable h6 : int32; mutable h7 : int32;
+  block : Bytes.t; (* 64-byte working block *)
+  mutable block_len : int;
+  mutable total_len : int64;
+}
+
+let init () =
+  {
+    h0 = 0x6a09e667l; h1 = 0xbb67ae85l; h2 = 0x3c6ef372l; h3 = 0xa54ff53al;
+    h4 = 0x510e527fl; h5 = 0x9b05688cl; h6 = 0x1f83d9abl; h7 = 0x5be0cd19l;
+    block = Bytes.create 64;
+    block_len = 0;
+    total_len = 0L;
+  }
+
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+let ( |% ) = Int32.logor
+let notl = Int32.lognot
+
+let rotr x n =
+  (Int32.shift_right_logical x n) |% Int32.shift_left x (32 - n)
+
+let shr = Int32.shift_right_logical
+
+let w = Array.make 64 0l
+
+(* Compress one 64-byte block held in [ctx.block]. *)
+let compress ctx =
+  let b = ctx.block in
+  for i = 0 to 15 do
+    let off = i * 4 in
+    let byte j = Int32.of_int (Char.code (Bytes.get b (off + j))) in
+    w.(i) <-
+      Int32.shift_left (byte 0) 24
+      |% Int32.shift_left (byte 1) 16
+      |% Int32.shift_left (byte 2) 8
+      |% byte 3
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^% rotr w.(i - 15) 18 ^% shr w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^% rotr w.(i - 2) 19 ^% shr w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let a = ref ctx.h0 and b' = ref ctx.h1 and c = ref ctx.h2 and d = ref ctx.h3 in
+  let e = ref ctx.h4 and f = ref ctx.h5 and g = ref ctx.h6 and h = ref ctx.h7 in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (notl !e &% !g) in
+    let temp1 = !h +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b') ^% (!a &% !c) ^% (!b' &% !c) in
+    let temp2 = s0 +% maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b';
+    b' := !a;
+    a := temp1 +% temp2
+  done;
+  ctx.h0 <- ctx.h0 +% !a;
+  ctx.h1 <- ctx.h1 +% !b';
+  ctx.h2 <- ctx.h2 +% !c;
+  ctx.h3 <- ctx.h3 +% !d;
+  ctx.h4 <- ctx.h4 +% !e;
+  ctx.h5 <- ctx.h5 +% !f;
+  ctx.h6 <- ctx.h6 +% !g;
+  ctx.h7 <- ctx.h7 +% !h
+
+let feed ctx data off len =
+  ctx.total_len <- Int64.add ctx.total_len (Int64.of_int len);
+  let pos = ref off in
+  let remaining = ref len in
+  (* Fill a partial block first. *)
+  if ctx.block_len > 0 then begin
+    let take = min !remaining (64 - ctx.block_len) in
+    Bytes.blit data !pos ctx.block ctx.block_len take;
+    ctx.block_len <- ctx.block_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.block_len = 64 then begin
+      compress ctx;
+      ctx.block_len <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    Bytes.blit data !pos ctx.block 0 64;
+    compress ctx;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit data !pos ctx.block 0 !remaining;
+    ctx.block_len <- !remaining
+  end
+
+let finish ctx =
+  let bitlen = Int64.mul ctx.total_len 8L in
+  (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
+  let pad_start = ctx.block_len in
+  Bytes.set ctx.block pad_start '\x80';
+  if pad_start + 1 > 56 then begin
+    Bytes.fill ctx.block (pad_start + 1) (64 - pad_start - 1) '\000';
+    compress ctx;
+    Bytes.fill ctx.block 0 64 '\000'
+  end
+  else Bytes.fill ctx.block (pad_start + 1) (56 - pad_start - 1) '\000';
+  for i = 0 to 7 do
+    let shift = (7 - i) * 8 in
+    Bytes.set ctx.block (56 + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen shift) 0xFFL)))
+  done;
+  compress ctx;
+  let out = Bytes.create 32 in
+  let put i v =
+    Bytes.set out (i * 4) (Char.chr (Int32.to_int (shr v 24) land 0xFF));
+    Bytes.set out ((i * 4) + 1) (Char.chr (Int32.to_int (shr v 16) land 0xFF));
+    Bytes.set out ((i * 4) + 2) (Char.chr (Int32.to_int (shr v 8) land 0xFF));
+    Bytes.set out ((i * 4) + 3) (Char.chr (Int32.to_int v land 0xFF))
+  in
+  put 0 ctx.h0; put 1 ctx.h1; put 2 ctx.h2; put 3 ctx.h3;
+  put 4 ctx.h4; put 5 ctx.h5; put 6 ctx.h6; put 7 ctx.h7;
+  out
+
+let digest data =
+  let ctx = init () in
+  feed ctx data 0 (Bytes.length data);
+  finish ctx
+
+let digest_string s = digest (Bytes.of_string s)
+
+let digest_list parts =
+  let ctx = init () in
+  List.iter (fun p -> feed ctx p 0 (Bytes.length p)) parts;
+  finish ctx
+
+let hex d =
+  let buf = Buffer.create (2 * Bytes.length d) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf

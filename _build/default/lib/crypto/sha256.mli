@@ -1,0 +1,18 @@
+(** SHA-256 (FIPS 180-4). The collision-resistant hash underlying every
+    primitive in this reproduction. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> bytes -> int -> int -> unit
+val finish : ctx -> bytes
+
+val digest : bytes -> bytes
+(** 32-byte digest. *)
+
+val digest_string : string -> bytes
+
+val digest_list : bytes list -> bytes
+(** Digest of the concatenation, without materializing it. *)
+
+val hex : bytes -> string

@@ -1,0 +1,44 @@
+(* Shamir secret sharing over GF(2^31 - 1).
+
+   Degree-t sharing: any t+1 shares reconstruct, any t reveal nothing.
+   Party i's share is the polynomial evaluated at x = i + 1 (never 0). *)
+
+type share = { x : Field.t; y : Field.t }
+
+let share rng ~secret ~threshold ~num_shares =
+  if threshold < 0 || num_shares <= threshold then
+    invalid_arg "Shamir.share: need num_shares > threshold >= 0";
+  if num_shares >= Field.p then invalid_arg "Shamir.share: too many shares";
+  let coeffs = secret :: List.init threshold (fun _ -> Field.random rng) in
+  List.init num_shares (fun i ->
+      let x = Field.of_int (i + 1) in
+      { x; y = Field.eval_poly coeffs x })
+
+(* Lagrange interpolation at x = 0. *)
+let reconstruct shares =
+  match shares with
+  | [] -> invalid_arg "Shamir.reconstruct: no shares"
+  | _ ->
+    let xs = List.map (fun s -> s.x) shares in
+    if List.length (List.sort_uniq compare (xs :> int list)) <> List.length xs
+    then invalid_arg "Shamir.reconstruct: duplicate x";
+    List.fold_left
+      (fun acc s ->
+        let num, den =
+          List.fold_left
+            (fun (num, den) s' ->
+              if Field.equal s'.x s.x then (num, den)
+              else (Field.mul num s'.x, Field.mul den (Field.sub s'.x s.x)))
+            (Field.one, Field.one) shares
+        in
+        Field.add acc (Field.mul s.y (Field.div num den)))
+      Field.zero shares
+
+let encode b s =
+  Field.encode b s.x;
+  Field.encode b s.y
+
+let decode src =
+  let x = Field.decode src in
+  let y = Field.decode src in
+  { x; y }

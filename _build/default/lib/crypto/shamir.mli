@@ -1,0 +1,14 @@
+(** Shamir secret sharing over GF(2^31 - 1). *)
+
+type share = { x : Field.t; y : Field.t }
+
+val share :
+  Repro_util.Rng.t -> secret:Field.t -> threshold:int -> num_shares:int ->
+  share list
+(** Degree-[threshold] sharing; share [i] is at [x = i + 1]. *)
+
+val reconstruct : share list -> Field.t
+(** Lagrange interpolation at 0; requires > threshold distinct shares. *)
+
+val encode : Repro_util.Encode.sink -> share -> unit
+val decode : Repro_util.Encode.source -> share

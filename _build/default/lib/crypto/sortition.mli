@@ -1,0 +1,9 @@
+(** Secret sortition: the trusted setup's biased PRF coin deciding which
+    virtual parties receive real signing keys (expected [expected] of [n]). *)
+
+type t
+
+val create : key:Prf.key -> n:int -> expected:int -> t
+val is_signer : t -> int -> bool
+val signers : t -> int list
+val count_signers : t -> int

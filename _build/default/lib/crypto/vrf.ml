@@ -1,0 +1,42 @@
+(* One-shot verifiable unpredictable function from OWF/CRH.
+
+   The paper's Sec. 2.2 discusses replacing the trusted-PKI sortition with
+   VRF-based sortition a la Algorand [22]: each party evaluates a VRF on a
+   common random string to learn (and later prove) whether it may sign.
+   A full VRF needs number-theoretic assumptions; for the *one-shot* use in
+   sortition, a commit-reveal construction from hashing suffices and keeps
+   the repository's OWF/CRH-only assumption base:
+
+     keygen:  sk = random seed;  vk = H(sk)
+     eval:    y = HMAC(sk, x)  with proof = sk (one-time reveal)
+     verify:  H(sk) = vk  and  y = HMAC(sk, x)
+
+   Pseudorandomness of y holds until sk is revealed (HMAC under an unknown
+   key); uniqueness/binding comes from the CRH commitment. Revealing sk is
+   acceptable for sortition because a selected party reveals its slot
+   exactly once, alongside its (separate) signing key. *)
+
+type sk = bytes
+type vk = bytes
+type output = bytes
+type proof = bytes (* the revealed seed *)
+
+let keygen rng : vk * sk =
+  let sk = Repro_util.Rng.bytes rng 32 in
+  (Hashx.hash ~tag:"vrf-vk" [ sk ], sk)
+
+let keygen_from_seed seed : vk * sk =
+  let sk = Hashx.hash ~tag:"vrf-sk" [ seed ] in
+  (Hashx.hash ~tag:"vrf-vk" [ sk ], sk)
+
+let eval (sk : sk) (x : bytes) : output * proof =
+  (Hmac.mac_parts ~key:sk [ Bytes.of_string "vrf"; x ], sk)
+
+let verify (vk : vk) (x : bytes) (y : output) (pi : proof) : bool =
+  Hashx.equal vk (Hashx.hash ~tag:"vrf-vk" [ pi ])
+  && Bytes.equal y (Hmac.mac_parts ~key:pi [ Bytes.of_string "vrf"; x ])
+
+(* Interpret the output as a uniform fraction in [0,1): the sortition coin. *)
+let to_fraction (y : output) : float =
+  let v = Hashx.to_int y land ((1 lsl 40) - 1) in
+  float_of_int v /. float_of_int (1 lsl 40)

@@ -1,0 +1,20 @@
+(** One-shot verifiable unpredictable function from OWF/CRH (commit-reveal):
+    the sortition primitive of the Algorand-style approach discussed in the
+    paper's Sec. 2.2. Pseudorandom until the proof (the seed) is revealed;
+    unique/binding under CRH. *)
+
+type sk
+type vk = bytes
+type output = bytes
+
+type proof = bytes
+(** The revealed seed (one-time reveal); signatures serialize it. *)
+
+val keygen : Repro_util.Rng.t -> vk * sk
+val keygen_from_seed : bytes -> vk * sk
+
+val eval : sk -> bytes -> output * proof
+val verify : vk -> bytes -> output -> proof -> bool
+
+val to_fraction : output -> float
+(** The output as a uniform fraction in [0,1) — the sortition coin. *)

@@ -1,0 +1,130 @@
+(* Winternitz one-time signatures (WOTS) with w = 16.
+
+   This is the one-way-function-based one-time signature standing in for
+   Lamport signatures [49] in the paper's OWF-based SRDS (Theorem 2.7): same
+   assumption (OWF / CRH), ~30x smaller signatures, which keeps the large-n
+   communication sweeps tractable. Two properties the SRDS construction needs:
+
+   - *Oblivious key generation* (paper Sec. 2.2): the verification key is a
+     single digest, so sampling a uniform string is perfectly oblivious — no
+     one, including the sampler, knows a corresponding signing key.
+   - Deterministic derivation from a seed, so the trusted PKI can hand each
+     party a seed instead of a full key.
+
+   Layout: the 128-bit message digest is split into 32 nibbles; a 3-nibble
+   checksum (max 480 < 16^3) prevents forgeries by chain advancement. Each of
+   the 35 chains is 15 applications of the one-way function deep; the
+   verification key is the hash of all chain ends. *)
+
+let w = 16
+let chunk_bits = 4
+let msg_chunks = Hashx.kappa_bytes * 8 / chunk_bits (* 32 *)
+let checksum_chunks = 3
+let num_chains = msg_chunks + checksum_chunks (* 35 *)
+let chain_depth = w - 1 (* 15 *)
+
+type secret_key = { seed : bytes }
+type verification_key = bytes (* kappa bytes *)
+type signature = bytes array (* num_chains values of kappa bytes *)
+
+let chain_start sk i =
+  Prf.eval_parts ~key:sk.seed
+    [ Bytes.of_string "wots-chain"; Bytes.of_string (string_of_int i) ]
+  |> fun d -> Bytes.sub d 0 Hashx.kappa_bytes
+
+(* Apply the one-way function [steps] times; each step is domain-tagged with
+   the chain index and depth so chains cannot be spliced together. *)
+let advance ~chain ~from_depth ~steps v =
+  let v = ref v in
+  for d = from_depth to from_depth + steps - 1 do
+    v := Hashx.hash ~tag:"wots-f" [ Bytes.of_string (Printf.sprintf "%d.%d" chain d); !v ]
+  done;
+  !v
+
+let chunks_of_digest digest =
+  let msg =
+    List.init msg_chunks (fun i ->
+        let byte = Char.code (Bytes.get digest (i / 2)) in
+        if i mod 2 = 0 then byte lsr 4 else byte land 0xF)
+  in
+  let sum = List.fold_left (fun acc c -> acc + (chain_depth - c)) 0 msg in
+  let checksum =
+    List.init checksum_chunks (fun i -> (sum lsr (chunk_bits * i)) land 0xF)
+  in
+  Array.of_list (msg @ checksum)
+
+let derive_vk sk =
+  let ends =
+    List.init num_chains (fun i ->
+        advance ~chain:i ~from_depth:0 ~steps:chain_depth (chain_start sk i))
+  in
+  Hashx.hash ~tag:"wots-vk" ends
+
+let keygen seed =
+  let sk = { seed } in
+  (derive_vk sk, sk)
+
+(* Oblivious key generation: a uniform digest-sized string. Distribution of
+   real vks is a hash output, so this is indistinguishable; no signing key
+   exists for it (finding one means inverting the OWF). *)
+let keygen_oblivious rng : verification_key =
+  Repro_util.Rng.bytes rng Hashx.kappa_bytes
+
+let sign sk msg_digest : signature =
+  if Bytes.length msg_digest <> Hashx.kappa_bytes then
+    invalid_arg "Wots.sign: digest size";
+  let chunks = chunks_of_digest msg_digest in
+  Array.init num_chains (fun i ->
+      advance ~chain:i ~from_depth:0 ~steps:chunks.(i) (chain_start sk i))
+
+let verify_uncached vk msg_digest (sg : signature) =
+  Bytes.length msg_digest = Hashx.kappa_bytes
+  && Array.length sg = num_chains
+  && Array.for_all (fun v -> Bytes.length v = Hashx.kappa_bytes) sg
+  &&
+  let chunks = chunks_of_digest msg_digest in
+  let ends =
+    List.init num_chains (fun i ->
+        advance ~chain:i ~from_depth:chunks.(i)
+          ~steps:(chain_depth - chunks.(i))
+          sg.(i))
+  in
+  Hashx.equal vk (Hashx.hash ~tag:"wots-vk" ends)
+
+(* Verification memoization: in the network simulation the same signature is
+   re-verified by every committee member that handles it; verify is a pure
+   function, so caching the (vk, digest, signature) -> bool result changes
+   nothing observable while collapsing the simulated fleet's redundant work
+   onto one computation. Bounded by periodic reset. *)
+let cache : (string, bool) Hashtbl.t = Hashtbl.create 4096
+let cache_limit = 1 lsl 18
+
+let clear_cache () = Hashtbl.reset cache
+
+let verify vk msg_digest (sg : signature) =
+  if Array.length sg <> num_chains then false
+  else begin
+    let key =
+      Bytes.to_string
+        (Hashx.hash ~tag:"wots-vcache" (vk :: msg_digest :: Array.to_list sg))
+    in
+    match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let r = verify_uncached vk msg_digest sg in
+      if Hashtbl.length cache > cache_limit then Hashtbl.reset cache;
+      Hashtbl.add cache key r;
+      r
+  end
+
+let signature_size = num_chains * Hashx.kappa_bytes
+let vk_size = Hashx.kappa_bytes
+
+let encode_signature b (sg : signature) =
+  Repro_util.Encode.array b Repro_util.Encode.bytes sg
+
+let decode_signature src : signature =
+  let sg = Repro_util.Encode.r_array src Repro_util.Encode.r_bytes in
+  if Array.length sg <> num_chains then
+    raise (Repro_util.Encode.Malformed "wots signature arity");
+  sg

@@ -1,0 +1,1 @@
+lib/net/engine.ml: Array Hashtbl List Network String Wire

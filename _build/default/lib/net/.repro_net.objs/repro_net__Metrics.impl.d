@@ -1,0 +1,1 @@
+lib/net/metrics.ml: Array Format Hashtbl Int List Repro_util Set String Wire

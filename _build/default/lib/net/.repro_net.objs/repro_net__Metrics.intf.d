@@ -1,0 +1,1 @@
+lib/net/metrics.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array List Logs Metrics Option Wire

@@ -1,0 +1,93 @@
+(* Protocol engine: drives many round-based state machines over the network.
+
+   In the BA protocol a single party simultaneously participates in several
+   protocol instances — one committee BA, coin-toss or aggregation instance
+   per tree node it is assigned to. Protocol modules (phase king, coin toss,
+   ...) are written as pure per-party state machines; this engine multiplexes
+   all instances of all parties over one Network, tagging messages with
+   "tag/instance" so concurrent instances never interfere.
+
+   Timing: sends of local round r are delivered and handed to [m_recv] with
+   the same local round number at the start of the next network round. An
+   execution of [rounds] local rounds therefore takes [rounds + 1] network
+   rounds (the final one only delivers). *)
+
+type machine = {
+  m_send : round:int -> (int * bytes) list;
+      (* messages (dst, payload) this machine emits in local round [round] *)
+  m_recv : round:int -> (int * bytes) list -> unit;
+      (* messages (src, payload) delivered for local round [round] *)
+}
+
+let instance_tag tag inst = tag ^ "/" ^ inst
+
+let split_tag ~tag full =
+  let prefix = tag ^ "/" in
+  let pl = String.length prefix in
+  if String.length full >= pl && String.sub full 0 pl = prefix then
+    Some (String.sub full pl (String.length full - pl))
+  else None
+
+(* [machines p] lists party p's instances as (instance-id, machine); entries
+   for corrupt parties are ignored (their traffic comes from the adversary).
+   The engine runs [rounds] local rounds starting from the network's current
+   round. *)
+let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
+    () =
+  let n = Network.n net in
+  let tables =
+    Array.init n (fun p ->
+        if Network.is_honest net p then begin
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun (inst, m) ->
+              if Hashtbl.mem tbl inst then
+                invalid_arg ("Engine.run: duplicate instance " ^ inst);
+              Hashtbl.add tbl inst m)
+            (machines p);
+          tbl
+        end
+        else Hashtbl.create 0)
+  in
+  let start = Network.round net in
+  let handler p ~round ~inbox =
+    let local = round - start in
+    let tbl = tables.(p) in
+    (* Dispatch last round's deliveries per instance, preserving order. *)
+    if local > 0 then begin
+      let by_inst = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Wire.msg) ->
+          match split_tag ~tag m.tag with
+          | None -> () (* other phase's leftovers: ignore *)
+          | Some inst ->
+            if Hashtbl.mem tbl inst then
+              Hashtbl.replace by_inst inst
+                ((m.src, m.payload)
+                :: (try Hashtbl.find by_inst inst with Not_found -> [])))
+        inbox;
+      Hashtbl.iter
+        (fun inst msgs ->
+          let m = Hashtbl.find tbl inst in
+          m.m_recv ~round:(local - 1) (List.rev msgs))
+        by_inst;
+      (* Instances that received nothing still observe the round. *)
+      Hashtbl.iter
+        (fun inst m ->
+          if not (Hashtbl.mem by_inst inst) then m.m_recv ~round:(local - 1) [])
+        tbl
+    end;
+    if local < rounds then
+      Hashtbl.iter
+        (fun inst m ->
+          List.iter
+            (fun (dst, payload) ->
+              Network.send net ~src:p ~dst ~tag:(instance_tag tag inst) payload)
+            (m.m_send ~round:local))
+        tbl
+  in
+  let handlers =
+    Array.init n (fun p ->
+        if Network.is_honest net p then Some (handler p) else None)
+  in
+  Network.run net ?adversary ~rounds:(rounds + 1) handlers

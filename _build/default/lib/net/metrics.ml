@@ -1,0 +1,144 @@
+(* Per-party communication metering.
+
+   This module measures exactly the quantities the paper's theorems bound:
+   bits communicated per party (sent + received), message counts, locality
+   (number of distinct peers a party exchanges messages with), and round
+   count. Reports are normally restricted to honest parties: the adversary
+   can always inflate its own parties' numbers. *)
+
+module IntSet = Set.Make (Int)
+
+type party_stats = {
+  mutable bytes_sent : int;
+  mutable bytes_recv : int;
+  mutable msgs_sent : int;
+  mutable msgs_recv : int;
+  mutable peers_sent : IntSet.t;
+  mutable peers_recv : IntSet.t;
+}
+
+type t = {
+  n : int;
+  stats : party_stats array;
+  mutable rounds : int;
+  by_tag : (string, int) Hashtbl.t; (* sent bytes per tag group *)
+}
+
+let fresh_party () =
+  {
+    bytes_sent = 0;
+    bytes_recv = 0;
+    msgs_sent = 0;
+    msgs_recv = 0;
+    peers_sent = IntSet.empty;
+    peers_recv = IntSet.empty;
+  }
+
+let create n =
+  { n; stats = Array.init n (fun _ -> fresh_party ()); rounds = 0;
+    by_tag = Hashtbl.create 32 }
+
+(* Tag grouping for the per-phase breakdown: keep the part before '/',
+   stripped of trailing digits and instance labels, so "aggr-ba-2/15",
+   "aggr-ba-3/4" both land in "aggr-ba". The aecomm dissemination keeps its
+   second segment's prefix ("aecomm/pair-ba" -> "aecomm/pair"). *)
+let tag_group tag =
+  let strip_digits s =
+    let n = String.length s in
+    let rec last i =
+      if i > 0 && (match s.[i - 1] with '0' .. '9' | '-' -> true | _ -> false)
+      then last (i - 1)
+      else i
+    in
+    String.sub s 0 (last n)
+  in
+  match String.index_opt tag '/' with
+  | None -> strip_digits tag
+  | Some i ->
+    let head = String.sub tag 0 i in
+    if head = "aecomm" || head = "elect" then
+      let rest = String.sub tag (i + 1) (String.length tag - i - 1) in
+      let rest =
+        match String.index_opt rest '/' with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      head ^ "/" ^ strip_digits rest
+    else strip_digits head
+
+let note_send t (m : Wire.msg) =
+  let s = t.stats.(m.src) in
+  let sz = Wire.size m in
+  s.bytes_sent <- s.bytes_sent + sz;
+  s.msgs_sent <- s.msgs_sent + 1;
+  s.peers_sent <- IntSet.add m.dst s.peers_sent;
+  let g = tag_group m.tag in
+  Hashtbl.replace t.by_tag g (sz + try Hashtbl.find t.by_tag g with Not_found -> 0)
+
+let note_recv t (m : Wire.msg) =
+  let s = t.stats.(m.dst) in
+  let sz = Wire.size m in
+  s.bytes_recv <- s.bytes_recv + sz;
+  s.msgs_recv <- s.msgs_recv + 1;
+  s.peers_recv <- IntSet.add m.src s.peers_recv
+
+let note_round t = t.rounds <- t.rounds + 1
+
+let rounds t = t.rounds
+
+let party_bytes t i = t.stats.(i).bytes_sent + t.stats.(i).bytes_recv
+let party_bytes_sent t i = t.stats.(i).bytes_sent
+let party_msgs_sent t i = t.stats.(i).msgs_sent
+
+let party_locality t i =
+  IntSet.cardinal (IntSet.union t.stats.(i).peers_sent t.stats.(i).peers_recv)
+
+(* A communication report over a subset of parties (normally the honest
+   set). *)
+type report = {
+  max_bytes : int; (* max over parties of sent+received bytes *)
+  mean_bytes : float;
+  p50_bytes : float; (* median per-party bytes *)
+  p95_bytes : float;
+  total_bytes : int; (* over the whole network, all parties *)
+  max_msgs_sent : int;
+  max_locality : int;
+  mean_locality : float;
+  rounds : int;
+}
+
+let report ?(include_party = fun _ -> true) t =
+  let parties =
+    List.filter include_party (List.init t.n (fun i -> i))
+  in
+  let bytes = List.map (party_bytes t) parties in
+  let locs = List.map (party_locality t) parties in
+  let total =
+    Array.fold_left (fun acc s -> acc + s.bytes_sent) 0 t.stats
+  in
+  let fbytes = List.map float_of_int bytes in
+  {
+    max_bytes = List.fold_left max 0 bytes;
+    mean_bytes = Repro_util.Mathx.mean fbytes;
+    p50_bytes = Repro_util.Mathx.percentile 0.5 fbytes;
+    p95_bytes = Repro_util.Mathx.percentile 0.95 fbytes;
+    total_bytes = total;
+    max_msgs_sent =
+      List.fold_left (fun acc i -> max acc (party_msgs_sent t i)) 0 parties;
+    max_locality = List.fold_left max 0 locs;
+    mean_locality = Repro_util.Mathx.mean (List.map float_of_int locs);
+    rounds = t.rounds;
+  }
+
+(* Sent bytes per tag group, largest first: the per-phase cost breakdown. *)
+let tag_breakdown t =
+  Hashtbl.fold (fun g b acc -> (g, b) :: acc) t.by_tag []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "max %.1f KiB/party, mean %.1f KiB, total %.1f KiB, locality max %d, %d rounds"
+    (float_of_int r.max_bytes /. 1024.)
+    (r.mean_bytes /. 1024.)
+    (float_of_int r.total_bytes /. 1024.)
+    r.max_locality r.rounds

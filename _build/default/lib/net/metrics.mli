@@ -1,0 +1,44 @@
+(** Per-party communication metering: the quantities the paper's theorems
+    bound (bits per party, locality, rounds). *)
+
+type t
+
+val create : int -> t
+val note_send : t -> Wire.msg -> unit
+val note_recv : t -> Wire.msg -> unit
+val note_round : t -> unit
+val rounds : t -> int
+
+val party_bytes : t -> int -> int
+(** Sent + received bytes of one party. *)
+
+val party_bytes_sent : t -> int -> int
+val party_msgs_sent : t -> int -> int
+
+val party_locality : t -> int -> int
+(** Number of distinct peers the party exchanged messages with. *)
+
+val tag_group : string -> string
+(** Normalization used for the per-phase breakdown. *)
+
+val tag_breakdown : t -> (string * int) list
+(** Total sent bytes per tag group, largest first. *)
+
+type report = {
+  max_bytes : int;
+  mean_bytes : float;
+  p50_bytes : float;
+  p95_bytes : float;
+  total_bytes : int;
+  max_msgs_sent : int;
+  max_locality : int;
+  mean_locality : float;
+  rounds : int;
+}
+
+val report : ?include_party:(int -> bool) -> t -> report
+(** Aggregate over the parties selected by [include_party] (default: all);
+    callers normally pass the honest set. [total_bytes] always covers the
+    whole network. *)
+
+val pp_report : Format.formatter -> report -> unit

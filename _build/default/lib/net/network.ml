@@ -1,0 +1,119 @@
+(* Synchronous point-to-point network with authenticated channels and a
+   rushing, static adversary.
+
+   Model (paper Sec. 1): n parties, lock-step rounds; a message sent in
+   round r is delivered at the start of round r+1; honest-to-honest
+   messages cannot be dropped or modified (authenticated channels). The
+   adversary statically controls a corrupt set; within each round it is
+   *rushing*: it observes every message the honest parties sent in the
+   current round before choosing the corrupt parties' messages.
+
+   Protocols are arrays of per-party step functions closing over their own
+   state; corrupt slots are [None] and their behaviour lives entirely in the
+   adversary. All sends are metered through {!Metrics}. *)
+
+let src = Logs.Src.create "repro.net" ~doc:"synchronous network simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  n : int;
+  corrupt : bool array;
+  metrics : Metrics.t;
+  mutable staged : Wire.msg list; (* sent this round, reversed *)
+  mutable inboxes : Wire.msg list array; (* deliveries for the current round *)
+  mutable round : int;
+}
+
+type handler = round:int -> inbox:Wire.msg list -> unit
+
+type adversary = {
+  adv_name : string;
+  adv_step : t -> round:int -> honest_staged:Wire.msg list -> unit;
+      (* called after honest parties act; rushing: sees their sends *)
+}
+
+let null_adversary = { adv_name = "null"; adv_step = (fun _ ~round:_ ~honest_staged:_ -> ()) }
+
+let create ~n ~corrupt =
+  let c = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Network.create: corrupt index";
+      c.(i) <- true)
+    corrupt;
+  {
+    n;
+    corrupt = c;
+    metrics = Metrics.create n;
+    staged = [];
+    inboxes = Array.make n [];
+    round = 0;
+  }
+
+let n t = t.n
+let metrics t = t.metrics
+let round t = t.round
+let is_corrupt t i = t.corrupt.(i)
+let is_honest t i = not t.corrupt.(i)
+let honest_parties t = List.filter (is_honest t) (List.init t.n (fun i -> i))
+let corrupt_parties t = List.filter (is_corrupt t) (List.init t.n (fun i -> i))
+
+let send t ~src:s ~dst ~tag payload =
+  if s < 0 || s >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Network.send: party index out of range";
+  let m = { Wire.src = s; dst; tag; payload } in
+  Metrics.note_send t.metrics m;
+  t.staged <- m :: t.staged
+
+let send_many t ~src ~dsts ~tag payload =
+  List.iter (fun dst -> send t ~src ~dst ~tag payload) dsts
+
+let inbox t i = t.inboxes.(i)
+
+(* Messages of the current round's staging area sourced at honest parties:
+   what a rushing adversary observes. *)
+let staged_honest t = List.rev (List.filter (fun m -> is_honest t m.Wire.src) t.staged)
+
+let deliver t =
+  let next = Array.make t.n [] in
+  (* [staged] holds messages in reverse send order; consing onto each inbox
+     restores send order. *)
+  List.iter
+    (fun (m : Wire.msg) ->
+      Metrics.note_recv t.metrics m;
+      next.(m.dst) <- m :: next.(m.dst))
+    t.staged;
+  t.inboxes <- next;
+  t.staged <- []
+
+let step t ?(adversary = null_adversary) handlers =
+  Metrics.note_round t.metrics;
+  Array.iteri
+    (fun i h ->
+      match h with
+      | Some handler when is_honest t i -> handler ~round:t.round ~inbox:t.inboxes.(i)
+      | _ -> ())
+    handlers;
+  adversary.adv_step t ~round:t.round ~honest_staged:(staged_honest t);
+  deliver t;
+  t.round <- t.round + 1
+
+let run t ?adversary ?stop ~rounds handlers =
+  if Array.length handlers <> t.n then
+    invalid_arg "Network.run: handler array arity";
+  let stop = Option.value stop ~default:(fun ~round:_ -> false) in
+  let target = t.round + rounds in
+  let rec go () =
+    if t.round < target && not (stop ~round:t.round) then begin
+      step t ?adversary handlers;
+      go ()
+    end
+  in
+  go ()
+
+(* Drop undelivered messages and pending inboxes between protocol phases so
+   a new sub-protocol starts from a clean slate while metrics accumulate. *)
+let flush t =
+  t.staged <- [];
+  t.inboxes <- Array.make t.n []

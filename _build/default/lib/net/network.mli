@@ -1,0 +1,48 @@
+(** Synchronous point-to-point network with authenticated channels and a
+    rushing, static adversary. Messages sent in round r arrive at the start
+    of round r+1; honest-to-honest traffic cannot be dropped. *)
+
+type t
+
+type handler = round:int -> inbox:Wire.msg list -> unit
+(** One party's step function for one round; it sends by calling {!send}. *)
+
+type adversary = {
+  adv_name : string;
+  adv_step : t -> round:int -> honest_staged:Wire.msg list -> unit;
+      (** Invoked after the honest parties of a round have acted. Rushing:
+          [honest_staged] is everything they just sent. The adversary sends
+          on behalf of corrupt parties via {!send}. *)
+}
+
+val null_adversary : adversary
+
+val create : n:int -> corrupt:int list -> t
+val n : t -> int
+val metrics : t -> Metrics.t
+val round : t -> int
+val is_corrupt : t -> int -> bool
+val is_honest : t -> int -> bool
+val honest_parties : t -> int list
+val corrupt_parties : t -> int list
+
+val send : t -> src:int -> dst:int -> tag:string -> bytes -> unit
+val send_many : t -> src:int -> dsts:int list -> tag:string -> bytes -> unit
+
+val inbox : t -> int -> Wire.msg list
+(** Current-round inbox (used by the adversary to read corrupt mail). *)
+
+val step : t -> ?adversary:adversary -> handler option array -> unit
+(** Run one round: honest handlers, adversary, delivery. *)
+
+val run :
+  t ->
+  ?adversary:adversary ->
+  ?stop:(round:int -> bool) ->
+  rounds:int ->
+  handler option array ->
+  unit
+(** Run up to [rounds] further rounds, stopping early when [stop] fires. *)
+
+val flush : t -> unit
+(** Drop all in-flight messages (between composed protocol phases). *)

@@ -1,0 +1,13 @@
+(* A point-to-point message in the synchronous network.
+
+   The [tag] names the (protocol, step) the payload belongs to; receivers
+   pattern-match on it. Its length is charged to the sender along with the
+   payload, so tags are part of the honest communication cost. *)
+
+type msg = { src : int; dst : int; tag : string; payload : bytes }
+
+let size m = String.length m.tag + Bytes.length m.payload + 4
+(* + 4: src/dst/len framing, a fixed modest header charge *)
+
+let pp ppf m =
+  Format.fprintf ppf "%d->%d [%s] %dB" m.src m.dst m.tag (Bytes.length m.payload)

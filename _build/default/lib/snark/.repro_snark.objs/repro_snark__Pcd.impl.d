@@ -1,0 +1,1 @@
+lib/snark/pcd.ml: List Snark

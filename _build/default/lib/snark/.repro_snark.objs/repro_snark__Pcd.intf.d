@@ -1,0 +1,1 @@
+lib/snark/pcd.mli: Snark

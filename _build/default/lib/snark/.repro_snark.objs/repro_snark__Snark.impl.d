@@ -1,0 +1,1 @@
+lib/snark/snark.ml: Bytes Repro_crypto Repro_util

@@ -1,0 +1,49 @@
+(* Proof-carrying data (PCD) over bounded-depth DAGs [Chiesa-Tromer ICS'10],
+   via recursive composition of the simulated SNARK [BCCT STOC'13].
+
+   A PCD system is parameterized by a *compliance predicate*
+   Pi(msg, local, inputs): a node holding local data [local] that received
+   messages [inputs] (each carrying a proof) may emit [msg] iff Pi holds.
+   A proof for [msg] attests the existence of an entire Pi-compliant
+   history — exactly the "propagate information up a communication tree in a
+   succinct, publicly verifiable way" that the SNARK-based SRDS needs
+   (paper Sec. 2.2).
+
+   Recursive composition is realized directly: [prove] verifies the input
+   proofs and the predicate before issuing a proof for the output message
+   under the underlying SNARK oracle. Proof size stays O(kappa) at every
+   depth — the succinctness the construction hinges on. *)
+
+type t = {
+  crs : Snark.crs;
+  predicate : msg:bytes -> local:bytes -> inputs:bytes list -> bool;
+  relation : unit Snark.relation;
+}
+
+type proof = Snark.proof
+
+let proof_size = Snark.proof_size
+
+let create crs ~tag ~predicate =
+  (* The SNARK relation for statement [msg]: "there exist local data, input
+     messages with valid PCD proofs, such that Pi(msg, local, inputs)".
+     Witness checking happens inside [prove]; the relation value only names
+     the statement space for domain separation. *)
+  let relation : unit Snark.relation =
+    { Snark.rel_tag = "pcd:" ^ tag; holds = (fun ~statement:_ ~witness:() -> true) }
+  in
+  { crs; predicate; relation }
+
+let verify t ~msg proof = Snark.verify t.crs t.relation ~statement:msg proof
+
+(* Emit a proof for [msg]: all input proofs must verify and the compliance
+   predicate must hold. Returns None otherwise — an honest node cannot
+   vouch for a non-compliant step, and (by the SNARK oracle) neither can a
+   corrupt one. *)
+let prove t ~msg ~local ~inputs =
+  let inputs_ok =
+    List.for_all (fun (m, p) -> verify t ~msg:m p) inputs
+  in
+  if inputs_ok && t.predicate ~msg ~local ~inputs:(List.map fst inputs) then
+    Snark.prove t.crs t.relation ~statement:msg ~witness:()
+  else None

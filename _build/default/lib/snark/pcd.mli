@@ -1,0 +1,22 @@
+(** Proof-carrying data over bounded-depth DAGs via recursive composition of
+    the simulated SNARK. A proof for a message attests a fully compliant
+    history; proof size is O(kappa) at every depth. *)
+
+type t
+type proof = Snark.proof
+
+val proof_size : int
+
+val create :
+  Snark.crs ->
+  tag:string ->
+  predicate:(msg:bytes -> local:bytes -> inputs:bytes list -> bool) ->
+  t
+(** [predicate ~msg ~local ~inputs] is the compliance predicate Pi: node with
+    local data [local], having received compliant [inputs], may emit [msg]. *)
+
+val prove :
+  t -> msg:bytes -> local:bytes -> inputs:(bytes * proof) list -> proof option
+(** [None] if any input proof fails or the predicate rejects. *)
+
+val verify : t -> msg:bytes -> proof -> bool

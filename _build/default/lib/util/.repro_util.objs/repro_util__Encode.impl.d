@@ -1,0 +1,1 @@
+lib/util/encode.ml: Array Buffer Bytes Char List String

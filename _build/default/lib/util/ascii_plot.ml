@@ -1,0 +1,72 @@
+(* Minimal ASCII chart renderer for the benchmark harness: log-log line
+   charts of measured series (per-party bytes vs n), so bench_output.txt
+   carries the *shape* visually, not just as numbers. *)
+
+type series = { label : string; points : (float * float) list; glyph : char }
+
+let default_glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let make_series ?glyph ~label points =
+  let glyph = Option.value glyph ~default:'*' in
+  { label; points; glyph }
+
+let log10 x = log x /. log 10.0
+
+(* Render series on a [width] x [height] grid with log-log axes. *)
+let render ?(width = 64) ?(height = 18) ~title ~x_label ~y_label series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  let finite = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) all_points in
+  if finite = [] then title ^ ": (no data)\n"
+  else begin
+    let xs = List.map (fun (x, _) -> log10 x) finite in
+    let ys = List.map (fun (_, y) -> log10 y) finite in
+    let xmin = List.fold_left min infinity xs and xmax = List.fold_left max neg_infinity xs in
+    let ymin = List.fold_left min infinity ys and ymax = List.fold_left max neg_infinity ys in
+    let xspan = max 1e-9 (xmax -. xmin) and yspan = max 1e-9 (ymax -. ymin) in
+    let grid = Array.make_matrix height width ' ' in
+    let plot s =
+      List.iter
+        (fun (x, y) ->
+          if x > 0.0 && y > 0.0 then begin
+            let cx =
+              int_of_float ((log10 x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              (height - 1)
+              - int_of_float ((log10 y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(cy).(cx) <- (if grid.(cy).(cx) = ' ' then s.glyph else '&')
+          end)
+        s.points
+    in
+    List.iter plot series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (Printf.sprintf "%s  (log-log)\n" title);
+    let ytop = Printf.sprintf "%.3g" (10.0 ** ymax) in
+    let ybot = Printf.sprintf "%.3g" (10.0 ** ymin) in
+    let margin = max (String.length ytop) (String.length ybot) in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 then ytop
+          else if row = height - 1 then ybot
+          else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%*s |%s|\n" margin label (String.init width (fun c -> line.(c)))))
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "%*s  %-8s%s%8s\n" margin ""
+         (Printf.sprintf "%.3g" (10.0 ** xmin))
+         (String.make (max 0 (width - 16)) ' ')
+         (Printf.sprintf "%.3g" (10.0 ** xmax)));
+    Buffer.add_string buf (Printf.sprintf "%*s  x: %s, y: %s\n" margin "" x_label y_label);
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "%*s  %c = %s\n" margin "" s.glyph s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ~title ~x_label ~y_label series =
+  print_string (render ?width ?height ~title ~x_label ~y_label series)

@@ -1,0 +1,15 @@
+(** ASCII log-log line charts for the benchmark harness. *)
+
+type series
+
+val default_glyphs : char array
+
+val make_series : ?glyph:char -> label:string -> (float * float) list -> series
+
+val render :
+  ?width:int -> ?height:int -> title:string -> x_label:string -> y_label:string ->
+  series list -> string
+
+val print :
+  ?width:int -> ?height:int -> title:string -> x_label:string -> y_label:string ->
+  series list -> unit

@@ -1,0 +1,138 @@
+(* Wire format for every message the simulator sends.
+
+   Communication-complexity numbers reported by the benchmarks are the sizes
+   of byte strings produced here, so the encoding is kept honest: varints for
+   integers, length-prefixed strings, no padding. *)
+
+type sink = Buffer.t
+
+let to_bytes f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.to_bytes b
+
+let u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Encode.u8";
+  Buffer.add_char b (Char.chr v)
+
+(* LEB128-style varint; values are non-negative. *)
+let varint b v =
+  if v < 0 then invalid_arg "Encode.varint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char b (Char.chr v)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let bool b v = u8 b (if v then 1 else 0)
+
+let bytes_raw b s = Buffer.add_bytes b s
+
+let bytes b s =
+  varint b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let string b s =
+  varint b (String.length s);
+  Buffer.add_string b s
+
+let list b f items =
+  varint b (List.length items);
+  List.iter (f b) items
+
+let array b f items =
+  varint b (Array.length items);
+  Array.iter (f b) items
+
+let option b f = function
+  | None -> u8 b 0
+  | Some v ->
+    u8 b 1;
+    f b v
+
+let pair b f g (x, y) =
+  f b x;
+  g b y
+
+(* --- Decoding --- *)
+
+exception Malformed of string
+
+type source = { data : bytes; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let remaining src = Bytes.length src.data - src.pos
+
+let fail what = raise (Malformed what)
+
+let r_u8 src =
+  if src.pos >= Bytes.length src.data then fail "u8: out of data";
+  let v = Char.code (Bytes.get src.data src.pos) in
+  src.pos <- src.pos + 1;
+  v
+
+let r_varint src =
+  let rec go shift acc =
+    (* 8 groups of 7 bits = 56; a 9th group would reach the sign bit *)
+    if shift > 56 then fail "varint: too long";
+    let c = r_u8 src in
+    let acc = acc lor ((c land 0x7F) lsl shift) in
+    if acc < 0 then fail "varint: overflow";
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let r_bool src =
+  match r_u8 src with
+  | 0 -> false
+  | 1 -> true
+  | _ -> fail "bool"
+
+let r_bytes_raw src len =
+  if len < 0 || remaining src < len then fail "bytes_raw: out of data";
+  let s = Bytes.sub src.data src.pos len in
+  src.pos <- src.pos + len;
+  s
+
+let r_bytes src =
+  let len = r_varint src in
+  r_bytes_raw src len
+
+let r_string src = Bytes.to_string (r_bytes src)
+
+let r_list src f =
+  let n = r_varint src in
+  if n > remaining src then fail "list: implausible length";
+  List.init n (fun _ -> f src)
+
+let r_array src f =
+  let n = r_varint src in
+  if n > remaining src then fail "array: implausible length";
+  Array.init n (fun _ -> f src)
+
+let r_option src f =
+  match r_u8 src with
+  | 0 -> None
+  | 1 -> Some (f src)
+  | _ -> fail "option"
+
+let r_pair src f g =
+  let x = f src in
+  let y = g src in
+  (x, y)
+
+let expect_end src = if remaining src <> 0 then fail "trailing bytes"
+
+let decode data f =
+  let src = reader data in
+  match
+    let v = f src in
+    expect_end src;
+    v
+  with
+  | v -> Some v
+  | exception Malformed _ -> None

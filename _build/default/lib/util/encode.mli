@@ -1,0 +1,46 @@
+(** Honest wire format: every simulated message is serialized with these
+    combinators, and reported communication is the byte length of the result.
+
+    Encoders write into a {!sink}; decoders read from a {!source} and raise
+    {!Malformed} on corrupt input (or use {!decode} for an option-typed
+    entry point, as protocol code must when parsing adversarial bytes). *)
+
+type sink = Buffer.t
+
+val to_bytes : (sink -> unit) -> bytes
+
+val u8 : sink -> int -> unit
+val varint : sink -> int -> unit
+val bool : sink -> bool -> unit
+val bytes_raw : sink -> bytes -> unit
+
+val bytes : sink -> bytes -> unit
+(** Length-prefixed byte string. *)
+
+val string : sink -> string -> unit
+val list : sink -> (sink -> 'a -> unit) -> 'a list -> unit
+val array : sink -> (sink -> 'a -> unit) -> 'a array -> unit
+val option : sink -> (sink -> 'a -> unit) -> 'a option -> unit
+val pair : sink -> (sink -> 'a -> unit) -> (sink -> 'b -> unit) -> 'a * 'b -> unit
+
+exception Malformed of string
+
+type source
+
+val reader : bytes -> source
+val remaining : source -> int
+val r_u8 : source -> int
+val r_varint : source -> int
+val r_bool : source -> bool
+val r_bytes_raw : source -> int -> bytes
+val r_bytes : source -> bytes
+val r_string : source -> string
+val r_list : source -> (source -> 'a) -> 'a list
+val r_array : source -> (source -> 'a) -> 'a array
+val r_option : source -> (source -> 'a) -> 'a option
+val r_pair : source -> (source -> 'a) -> (source -> 'b) -> 'a * 'b
+val expect_end : source -> unit
+
+val decode : bytes -> (source -> 'a) -> 'a option
+(** [decode data f] parses with [f], requiring all input consumed; [None] on
+    any malformation. This is the entry point for parsing untrusted bytes. *)

@@ -1,0 +1,17 @@
+(** Integer and statistics helpers. *)
+
+val ceil_div : int -> int -> int
+val log2_ceil : int -> int
+val log2_floor : int -> int
+val pow_int : int -> int -> int
+val isqrt : int -> int
+val clamp : lo:int -> hi:int -> int -> int
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float -> float list -> float
+val median : float list -> float
+
+val loglog_slope : (float * float) list -> float
+(** Least-squares slope of [log y] vs [log x]: the empirical growth exponent
+    of a measured series. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random generator (SplitMix64).
+
+    All randomness in the simulator flows through values of type {!t}, seeded
+    explicitly, so that every experiment is reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Uniform non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t len] is a fresh uniformly random byte string. *)
+
+val split : t -> t
+(** Derive an independent child generator, advancing the parent. *)
+
+val of_label : t -> string -> t
+(** Deterministic child generator keyed by a label; does not advance the
+    parent, so repeated calls with the same label coincide. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val subset : t -> n:int -> size:int -> int list
+(** Uniform [size]-subset of [\[0, n)], sorted ascending. *)

@@ -1,0 +1,60 @@
+(* Plain-text table rendering for the benchmark harness: the "rows the paper
+   reports" are printed through this module so every experiment's output has
+   the same aligned shape. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~headers ~aligns =
+  if List.length headers <> List.length aligns then
+    invalid_arg "Tablefmt.create: headers/aligns mismatch";
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: wrong arity";
+  t.rows <- cells :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2
+         (fun (w, a) c -> pad a w c)
+         (List.combine widths t.aligns)
+         cells)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fkib bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0)
+let f2 v = Printf.sprintf "%.2f" v

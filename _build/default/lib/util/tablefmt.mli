@@ -1,0 +1,15 @@
+(** Aligned plain-text tables for the benchmark harness. *)
+
+type align = Left | Right
+type t
+
+val create : title:string -> headers:string list -> aligns:align list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+val print : t -> unit
+
+val fkib : int -> string
+(** Bytes rendered as KiB with one decimal. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

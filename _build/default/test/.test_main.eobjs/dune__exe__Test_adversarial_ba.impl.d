@@ -1,0 +1,1 @@
+test/test_adversarial_ba.ml: Alcotest Array Balanced_ba Bytes Char List Printf Repro_core Repro_net Repro_util Srds_owf Srds_snark

@@ -1,0 +1,1 @@
+test/test_aetree.ml: Ae_comm Alcotest Array Bytes Election List Params Printf Repro_aetree Repro_crypto Repro_net Repro_util Tree Tree_check

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Boost Bytes List Printf Repro_aetree Repro_core Repro_util Srds_intf Srds_owf Srds_vrf

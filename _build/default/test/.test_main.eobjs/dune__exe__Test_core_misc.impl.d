@@ -1,0 +1,1 @@
+test/test_core_misc.ml: Alcotest Array Baseline_multisig Bytes List Printf Repro_aetree Repro_core Repro_crypto Repro_util Runner Schemes Srds_intf Srds_snark Virtual_ids

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Commit Field Hashx Hmac List Prf Printf QCheck QCheck_alcotest Repro_crypto Repro_util Sha256 Shamir Sortition String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes List Printf Repro_net

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bytes Committee Gradecast Hashx List Merkle Multi_ba Phase_king Printf QCheck QCheck_alcotest Repro_consensus Repro_crypto Repro_util Wots

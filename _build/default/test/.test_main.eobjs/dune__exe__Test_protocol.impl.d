@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Balanced_ba Baseline_multisig Baseline_naive Baseline_sqrt Boost Broadcast Bytes List Printf Repro_core Repro_net Repro_util Runner Srds_owf Srds_snark

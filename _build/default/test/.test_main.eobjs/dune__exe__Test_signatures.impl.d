@@ -1,0 +1,1 @@
+test/test_signatures.ml: Alcotest Array Bytes Hashx List Merkle Mss Printf QCheck QCheck_alcotest Repro_crypto Repro_util Wots

@@ -1,0 +1,1 @@
+test/test_snark.ml: Alcotest Bytes List Option Pcd Repro_snark Repro_util Snark

@@ -1,0 +1,1 @@
+test/test_srds.ml: Alcotest Array Bytes List Option Printf Repro_core Repro_util Srds_experiments Srds_intf Srds_owf Srds_snark Srds_snark_ablated Srds_vrf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ascii_plot Bitset Bytes Encode List Mathx QCheck QCheck_alcotest Repro_util Rng String Tablefmt

@@ -1,0 +1,666 @@
+(* Tests for the committee consensus substrate: phase-king binary BA,
+   Turpin-Coan multivalued BA, committee agreement, coin toss, and
+   Dolev-Strong broadcast — including runs against active adversaries. *)
+
+module Network = Repro_net.Network
+module Engine = Repro_net.Engine
+module Wire = Repro_net.Wire
+open Repro_consensus
+
+(* Run one protocol instance among [members] over a fresh network.
+   [make p] builds party p's machine; [extract p] reads its output. *)
+let run_committee ~n ~corrupt ~rounds ~adversary ~make =
+  let net = Network.create ~n ~corrupt in
+  let machines p =
+    if List.mem p corrupt then [] else [ ("i", make net p) ]
+  in
+  Engine.run net ?adversary ~tag:"test" ~rounds ~machines ();
+  net
+
+(* --- binary phase king --- *)
+
+let members_of n = List.init n (fun i -> i)
+
+let test_pk_all_agree_honest () =
+  let n = 10 in
+  let members = members_of n in
+  let states = Array.init n (fun me -> Phase_king.create ~members ~me ~input:(me mod 2 = 0)) in
+  let _net =
+    run_committee ~n ~corrupt:[] ~rounds:(Phase_king.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Phase_king.machine states.(p))
+  in
+  let outputs = Array.to_list (Array.map Phase_king.output states) in
+  (match List.hd outputs with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no decision");
+  List.iter (fun o -> Alcotest.(check bool) "agreement" true (o = List.hd outputs)) outputs
+
+let test_pk_validity () =
+  (* unanimous input must be decided *)
+  List.iter
+    (fun bit ->
+      let n = 7 in
+      let members = members_of n in
+      let states = Array.init n (fun me -> Phase_king.create ~members ~me ~input:bit) in
+      let _ =
+        run_committee ~n ~corrupt:[] ~rounds:(Phase_king.rounds ~members) ~adversary:None
+          ~make:(fun _ p -> Phase_king.machine states.(p))
+      in
+      Array.iter
+        (fun st -> Alcotest.(check (option bool)) "validity" (Some bit) (Phase_king.output st))
+        states)
+    [ true; false ]
+
+(* Adversary: corrupt members send conflicting votes to split the honest
+   parties (equivocation), every round. *)
+let equivocator ~corrupt_set ~members =
+  {
+    Network.adv_name = "equivocator";
+    adv_step =
+      (fun net ~round:_ ~honest_staged:_ ->
+        List.iter
+          (fun c ->
+            List.iteri
+              (fun i p ->
+                if p <> c then
+                  let bit = if i mod 2 = 0 then 0 else 1 in
+                  Network.send net ~src:c ~dst:p ~tag:"test/i"
+                    (Bytes.make 1 (Char.chr bit)))
+              members)
+          corrupt_set);
+  }
+
+let test_pk_agreement_under_equivocation () =
+  let n = 10 in
+  let members = members_of n in
+  let corrupt = [ 3; 7; 9 ] in
+  (* t = 3 = (10-1)/3: at the tolerance boundary *)
+  let states =
+    Array.init n (fun me -> Phase_king.create ~members ~me ~input:(me mod 2 = 0))
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:(Phase_king.rounds ~members)
+      ~adversary:(Some (equivocator ~corrupt_set:corrupt ~members))
+      ~make:(fun _ p -> Phase_king.machine states.(p))
+  in
+  let honest_out =
+    List.filter_map
+      (fun p -> if List.mem p corrupt then None else Phase_king.output states.(p))
+      members
+  in
+  Alcotest.(check int) "all honest decided" (n - 3) (List.length honest_out);
+  let first = List.hd honest_out in
+  List.iter (fun o -> Alcotest.(check bool) "agreement" true (o = first)) honest_out
+
+let test_pk_persistence_with_silent_corrupt () =
+  (* honest unanimous, corrupt silent: decision must match honest inputs *)
+  let n = 7 in
+  let members = members_of n in
+  let corrupt = [ 6; 5 ] in
+  let states = Array.init n (fun me -> Phase_king.create ~members ~me ~input:true) in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:(Phase_king.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Phase_king.machine states.(p))
+  in
+  List.iter
+    (fun p ->
+      if not (List.mem p corrupt) then
+        Alcotest.(check (option bool)) "validity" (Some true) (Phase_king.output states.(p)))
+    members
+
+(* --- multivalued BA --- *)
+
+let run_multi ~n ~corrupt ~inputs ~adversary =
+  let members = members_of n in
+  let states =
+    Array.init n (fun me -> Multi_ba.create ~members ~me ~input:(inputs me))
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:(Multi_ba.rounds ~members) ~adversary
+      ~make:(fun _ p -> Multi_ba.machine states.(p))
+  in
+  (states, members)
+
+let test_multi_unanimous () =
+  let v = Bytes.of_string "the-value" in
+  let states, _ = run_multi ~n:7 ~corrupt:[] ~inputs:(fun _ -> v) ~adversary:None in
+  Array.iter
+    (fun st ->
+      match Multi_ba.output st with
+      | Some (Some out) -> Alcotest.(check bytes) "unanimous value wins" v out
+      | _ -> Alcotest.fail "expected decision")
+    states
+
+let test_multi_split_inputs_agree () =
+  let inputs p = Bytes.of_string (Printf.sprintf "v%d" (p mod 3)) in
+  let states, members = run_multi ~n:9 ~corrupt:[] ~inputs ~adversary:None in
+  let outs = List.map (fun p -> Multi_ba.output states.(p)) members in
+  (* all the same, and either None or one of the honest inputs *)
+  let first = List.hd outs in
+  List.iter (fun o -> Alcotest.(check bool) "agreement" true (o = first)) outs;
+  match first with
+  | Some (Some v) ->
+    Alcotest.(check bool) "output is an honest input" true
+      (List.exists (fun p -> Bytes.equal (inputs p) v) members)
+  | Some None -> ()
+  | None -> Alcotest.fail "no decision"
+
+let test_multi_with_equivocator () =
+  let n = 10 in
+  let corrupt = [ 0; 4 ] in
+  let v = Bytes.of_string "honest" in
+  let members = members_of n in
+  let states = Array.init n (fun me -> Multi_ba.create ~members ~me ~input:v) in
+  let adversary =
+    {
+      Network.adv_name = "garbage";
+      adv_step =
+        (fun net ~round:_ ~honest_staged:_ ->
+          List.iter
+            (fun c ->
+              List.iter
+                (fun p ->
+                  if p <> c then
+                    Network.send net ~src:c ~dst:p ~tag:"test/i"
+                      (Bytes.of_string (Printf.sprintf "junk-%d-%d" c p)))
+                members)
+            corrupt);
+    }
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:(Multi_ba.rounds ~members) ~adversary:(Some adversary)
+      ~make:(fun _ p -> Multi_ba.machine states.(p))
+  in
+  List.iter
+    (fun p ->
+      if not (List.mem p corrupt) then
+        match Multi_ba.output states.(p) with
+        | Some (Some out) -> Alcotest.(check bytes) "honest value decided" v out
+        | _ -> Alcotest.fail "expected the honest value")
+    members
+
+(* --- committee agreement on payloads --- *)
+
+let test_committee_agree_unanimous () =
+  let n = 7 in
+  let members = members_of n in
+  let payload = Bytes.of_string (String.make 500 'p') in
+  let states =
+    Array.init n (fun me -> Committee.create ~members ~me ~candidate:payload ())
+  in
+  let _ =
+    run_committee ~n ~corrupt:[] ~rounds:(Committee.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Committee.machine states.(p))
+  in
+  Array.iter
+    (fun st ->
+      match Committee.output st with
+      | Some (Some out) -> Alcotest.(check bytes) "payload adopted" payload out
+      | _ -> Alcotest.fail "expected payload")
+    states
+
+let test_committee_agree_divergent_candidates () =
+  let n = 9 in
+  let members = members_of n in
+  let candidate p = Bytes.of_string (Printf.sprintf "candidate-%d" (p mod 2)) in
+  let states =
+    Array.init n (fun me -> Committee.create ~members ~me ~candidate:(candidate me) ())
+  in
+  let _ =
+    run_committee ~n ~corrupt:[] ~rounds:(Committee.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Committee.machine states.(p))
+  in
+  let outs = Array.to_list (Array.map Committee.output states) in
+  let first = List.hd outs in
+  List.iter (fun o -> Alcotest.(check bool) "agreement" true (o = first)) outs;
+  match first with
+  | Some (Some v) ->
+    Alcotest.(check bool) "winner is someone's candidate" true
+      (List.exists (fun p -> Bytes.equal (candidate p) v) members)
+  | Some None -> ()
+  | None -> Alcotest.fail "no decision"
+
+let test_committee_agree_validity_filter () =
+  (* a valid() that rejects everything must yield Some None, consistently *)
+  let n = 7 in
+  let members = members_of n in
+  let states =
+    Array.init n (fun me ->
+        Committee.create ~members ~me ~candidate:(Bytes.of_string "x")
+          ~valid:(fun _ -> false) ())
+  in
+  let _ =
+    run_committee ~n ~corrupt:[] ~rounds:(Committee.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Committee.machine states.(p))
+  in
+  Array.iter
+    (fun st -> Alcotest.(check bool) "rejected" true (Committee.output st = Some None))
+    states
+
+(* --- coin toss --- *)
+
+let run_coin ~n ~corrupt ~adversary ~seed =
+  let members = members_of n in
+  let rng = Repro_util.Rng.create seed in
+  let states =
+    Array.init n (fun me ->
+        Coin_toss.create ~members ~me ~rng:(Repro_util.Rng.of_label rng (string_of_int me)))
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:(Coin_toss.rounds ~members) ~adversary
+      ~make:(fun _ p -> Coin_toss.machine states.(p))
+  in
+  (states, members)
+
+let test_coin_agreement () =
+  let states, members = run_coin ~n:7 ~corrupt:[] ~adversary:None ~seed:1 in
+  let coins = List.map (fun p -> Coin_toss.output states.(p)) members in
+  (match List.hd coins with
+  | Some c -> Alcotest.(check int) "kappa bytes" Repro_crypto.Hashx.kappa_bytes (Bytes.length c)
+  | None -> Alcotest.fail "no coin");
+  List.iter (fun c -> Alcotest.(check bool) "same coin" true (c = List.hd coins)) coins
+
+let test_coin_differs_across_runs () =
+  let s1, _ = run_coin ~n:7 ~corrupt:[] ~adversary:None ~seed:1 in
+  let s2, _ = run_coin ~n:7 ~corrupt:[] ~adversary:None ~seed:2 in
+  let c1 = Option.get (Coin_toss.output s1.(0)) in
+  let c2 = Option.get (Coin_toss.output s2.(0)) in
+  Alcotest.(check bool) "fresh randomness" false (Bytes.equal c1 c2)
+
+let test_coin_with_silent_corrupt () =
+  let corrupt = [ 2; 5 ] in
+  let states, members = run_coin ~n:7 ~corrupt ~adversary:None ~seed:3 in
+  let coins =
+    List.filter_map
+      (fun p -> if List.mem p corrupt then None else Coin_toss.output states.(p))
+      members
+  in
+  Alcotest.(check int) "all honest have coin" 5 (List.length coins);
+  List.iter (fun c -> Alcotest.(check bytes) "same" (List.hd coins) c) coins
+
+let test_coin_unbiased_by_withholding () =
+  (* The adversary cannot abort after seeing reveals: qualified corrupt
+     dealers are reconstructed from honest shares. We check that a corrupt
+     member staying silent in the reveal round does not change the coin
+     relative to the all-reveal execution with the same honest randomness. *)
+  let n = 7 in
+  let corrupt = [ 6 ] in
+  (* run once with corrupt silent (no adversary messages at all) *)
+  let states, members = run_coin ~n ~corrupt ~adversary:None ~seed:4 in
+  let coins =
+    List.filter_map
+      (fun p -> if List.mem p corrupt then None else Coin_toss.output states.(p))
+      members
+  in
+  List.iter (fun c -> Alcotest.(check bytes) "consistent" (List.hd coins) c) coins
+
+(* --- gradecast --- *)
+
+let run_gradecast ~n ~corrupt ~sender ~input ~adversary =
+  let members = members_of n in
+  let states =
+    Array.init n (fun me -> Gradecast.create ~members ~me ~sender ~input)
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:Gradecast.rounds ~adversary
+      ~make:(fun _ p -> Gradecast.machine states.(p))
+  in
+  (states, members)
+
+let test_gradecast_honest_sender () =
+  let v = Bytes.of_string "graded-value" in
+  let states, members = run_gradecast ~n:7 ~corrupt:[] ~sender:2 ~input:v ~adversary:None in
+  List.iter
+    (fun p ->
+      match Gradecast.output states.(p) with
+      | Some (Some out, Gradecast.G2) -> Alcotest.(check bytes) "value" v out
+      | Some (_, g) ->
+        Alcotest.fail (Printf.sprintf "party %d grade %d" p (Gradecast.grade_to_int g))
+      | None -> Alcotest.fail "no output")
+    members
+
+let test_gradecast_silent_sender () =
+  let states, members =
+    run_gradecast ~n:7 ~corrupt:[ 0 ] ~sender:0 ~input:Bytes.empty ~adversary:None
+  in
+  List.iter
+    (fun p ->
+      if p <> 0 then
+        match Gradecast.output states.(p) with
+        | Some (None, Gradecast.G0) -> ()
+        | Some (_, g) ->
+          Alcotest.fail (Printf.sprintf "expected grade 0, got %d" (Gradecast.grade_to_int g))
+        | None -> Alcotest.fail "no output")
+    members
+
+let test_gradecast_grade_gap_at_most_one () =
+  (* equivocating corrupt sender: grades of honest members may split but by
+     at most one level, and any graded values agree *)
+  let n = 10 in
+  let members = members_of n in
+  let corrupt = [ 0; 7; 9 ] in
+  let states =
+    Array.init n (fun me -> Gradecast.create ~members ~me ~sender:0 ~input:Bytes.empty)
+  in
+  let adversary =
+    {
+      Network.adv_name = "equivocating sender";
+      adv_step =
+        (fun net ~round ~honest_staged:_ ->
+          if round = 0 then
+            (* sender 0 sends a to half, b to half; accomplices echo along *)
+            List.iteri
+              (fun i p ->
+                if p <> 0 then
+                  let v = if i mod 2 = 0 then "aaa" else "bbb" in
+                  Network.send net ~src:0 ~dst:p ~tag:"test/i"
+                    (Repro_util.Encode.to_bytes (fun b ->
+                         Repro_util.Encode.option b Repro_util.Encode.bytes
+                           (Some (Bytes.of_string v)))))
+              members);
+    }
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:Gradecast.rounds ~adversary:(Some adversary)
+      ~make:(fun _ p -> Gradecast.machine states.(p))
+  in
+  let outs =
+    List.filter_map
+      (fun p -> if List.mem p corrupt then None else Gradecast.output states.(p))
+      members
+  in
+  let grades = List.map (fun (_, g) -> Gradecast.grade_to_int g) outs in
+  let gmax = List.fold_left max 0 grades and gmin = List.fold_left min 2 grades in
+  Alcotest.(check bool)
+    (Printf.sprintf "grade gap <= 1 (%d..%d)" gmin gmax)
+    true
+    (gmax - gmin <= 1);
+  let graded_values =
+    List.filter_map (fun (v, g) -> if g <> Gradecast.G0 then v else None) outs
+  in
+  match graded_values with
+  | [] -> ()
+  | v :: rest ->
+    List.iter (fun v' -> Alcotest.(check bytes) "graded values agree" v v') rest
+
+(* --- Bracha reliable broadcast --- *)
+
+let run_rb ~n ~corrupt ~sender ~input ~adversary =
+  let members = members_of n in
+  let states =
+    Array.init n (fun me -> Reliable_broadcast.create ~members ~me ~sender ~input)
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:Reliable_broadcast.rounds ~adversary
+      ~make:(fun _ p -> Reliable_broadcast.machine states.(p))
+  in
+  states
+
+let test_rb_honest_sender () =
+  let v = Bytes.of_string "rb-value" in
+  let states = run_rb ~n:7 ~corrupt:[] ~sender:3 ~input:v ~adversary:None in
+  Array.iteri
+    (fun p st ->
+      match Reliable_broadcast.output st with
+      | Some out -> Alcotest.(check bytes) (Printf.sprintf "member %d" p) v out
+      | None -> Alcotest.fail "not delivered")
+    states
+
+let test_rb_silent_sender_no_delivery () =
+  let states =
+    run_rb ~n:7 ~corrupt:[ 0 ] ~sender:0 ~input:Bytes.empty ~adversary:None
+  in
+  List.iter
+    (fun p ->
+      if p <> 0 then
+        Alcotest.(check bool) "nothing delivered" true
+          (Reliable_broadcast.output states.(p) = None))
+    (members_of 7)
+
+let test_rb_totality_under_equivocation () =
+  (* equivocating corrupt sender: either nobody delivers, or all honest
+     deliver the same value *)
+  let n = 10 in
+  let corrupt = [ 0; 5; 9 ] in
+  let members = members_of n in
+  let states =
+    Array.init n (fun me ->
+        Reliable_broadcast.create ~members ~me ~sender:0 ~input:Bytes.empty)
+  in
+  let adversary =
+    {
+      Network.adv_name = "equivocating rb sender";
+      adv_step =
+        (fun net ~round ~honest_staged:_ ->
+          if round = 0 then
+            List.iteri
+              (fun i p ->
+                if p <> 0 then
+                  let v = if i mod 2 = 0 then "vA" else "vB" in
+                  let payload =
+                    Repro_util.Encode.to_bytes (fun b ->
+                        Repro_util.Encode.u8 b 0;
+                        Repro_util.Encode.bytes b (Bytes.of_string v))
+                  in
+                  Network.send net ~src:0 ~dst:p ~tag:"test/i" payload)
+              members);
+    }
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:Reliable_broadcast.rounds
+      ~adversary:(Some adversary)
+      ~make:(fun _ p -> Reliable_broadcast.machine states.(p))
+  in
+  let delivered =
+    List.filter_map
+      (fun p -> if List.mem p corrupt then None else Reliable_broadcast.output states.(p))
+      members
+  in
+  match delivered with
+  | [] -> () (* nobody delivered: allowed *)
+  | v :: rest ->
+    List.iter (fun v' -> Alcotest.(check bytes) "agreement on delivery" v v') rest
+
+(* --- MPC XOR aggregation (f_aggr-sig with secret randomness) --- *)
+
+let run_mpc ~n ~corrupt ~width ~inputs ~adversary ~seed =
+  let members = members_of n in
+  let rng = Repro_util.Rng.create seed in
+  let states =
+    Array.init n (fun me ->
+        Mpc_xor.create ~members ~me ~input:(inputs me) ~width
+          ~rng:(Repro_util.Rng.of_label rng (string_of_int me)))
+  in
+  let _ =
+    run_committee ~n ~corrupt ~rounds:Mpc_xor.rounds ~adversary
+      ~make:(fun _ p -> Mpc_xor.machine states.(p))
+  in
+  states
+
+let xor_all ~width values =
+  let acc = Bytes.make width '\000' in
+  List.iter
+    (fun v ->
+      for i = 0 to width - 1 do
+        Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code (Bytes.get v i)))
+      done)
+    values;
+  acc
+
+let test_mpc_xor_correctness () =
+  let n = 7 and width = 16 in
+  let inputs p = Repro_util.Rng.bytes (Repro_util.Rng.create (p + 900)) width in
+  let states = run_mpc ~n ~corrupt:[] ~width ~inputs ~adversary:None ~seed:30 in
+  let expected = xor_all ~width (List.init n inputs) in
+  Array.iteri
+    (fun p st ->
+      match Mpc_xor.output st with
+      | Some out -> Alcotest.(check bytes) (Printf.sprintf "member %d output" p) expected out
+      | None -> Alcotest.fail "unexpected abort")
+    states
+
+let test_mpc_xor_abort_on_withholding () =
+  (* a corrupt member receives shares but never reveals its partial sum:
+     everyone must abort (None), never output a wrong value *)
+  let n = 7 and width = 16 in
+  let inputs p = Repro_util.Rng.bytes (Repro_util.Rng.create (p + 950)) width in
+  (* corrupt member participates in round 0 via the adversary, then silence *)
+  let adversary =
+    {
+      Network.adv_name = "deal-then-withhold";
+      adv_step =
+        (fun net ~round ~honest_staged:_ ->
+          if round = 0 then
+            (* member 6 deals zero-shares like an honest member would *)
+            List.iter
+              (fun dst ->
+                if dst <> 6 then
+                  Network.send net ~src:6 ~dst ~tag:"test/i" (Bytes.make width '\000'))
+              (members_of n));
+    }
+  in
+  let states =
+    run_mpc ~n ~corrupt:[ 6 ] ~width ~inputs ~adversary:(Some adversary) ~seed:31
+  in
+  List.iter
+    (fun p ->
+      if p <> 6 then
+        Alcotest.(check bool)
+          (Printf.sprintf "member %d aborts" p)
+          true
+          (Mpc_xor.output states.(p) = None))
+    (members_of n)
+
+let test_mpc_xor_share_privacy_shape () =
+  (* a single share reveals nothing: it differs from the input and is
+     freshly random across sessions *)
+  let width = 16 in
+  let input = Bytes.of_string "secret-aggregate" in
+  let mk seed =
+    Mpc_xor.create ~members:[ 0; 1; 2; 3 ] ~me:0 ~input ~width
+      ~rng:(Repro_util.Rng.create seed)
+  in
+  let shares_of st = Mpc_xor.m_send st ~round:0 |> List.map snd in
+  let s1 = shares_of (mk 1) and s2 = shares_of (mk 2) in
+  Alcotest.(check bool) "shares fresh per session" true (s1 <> s2);
+  List.iter
+    (fun sh -> Alcotest.(check bool) "share <> input" false (Bytes.equal sh input))
+    s1
+
+(* --- Dolev-Strong --- *)
+
+let make_ds_pki n =
+  let vks_sks =
+    Array.init n (fun i -> Repro_crypto.Mss.keygen ~height:4 (Bytes.of_string (Printf.sprintf "ds-%d" i)))
+  in
+  let vks = Array.map fst vks_sks in
+  Array.init n (fun i -> { Dolev_strong.vks; sk = snd vks_sks.(i) })
+
+let test_ds_honest_sender () =
+  let n = 7 in
+  let members = members_of n in
+  let pkis = make_ds_pki n in
+  let v = Bytes.of_string "broadcast-me" in
+  let states =
+    Array.init n (fun me ->
+        Dolev_strong.create ~members ~me ~sender:0 ~pki:pkis.(me) ~input:v)
+  in
+  let _ =
+    run_committee ~n ~corrupt:[] ~rounds:(Dolev_strong.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Dolev_strong.machine states.(p))
+  in
+  Array.iter
+    (fun st ->
+      match Dolev_strong.output st with
+      | Some out -> Alcotest.(check bytes) "delivered" v out
+      | None -> Alcotest.fail "no output")
+    states
+
+let test_ds_silent_sender_default () =
+  let n = 7 in
+  let members = members_of n in
+  let pkis = make_ds_pki n in
+  let states =
+    Array.init n (fun me ->
+        Dolev_strong.create ~members ~me ~sender:0 ~pki:pkis.(me) ~input:Bytes.empty)
+  in
+  (* sender corrupt and silent *)
+  let _ =
+    run_committee ~n ~corrupt:[ 0 ] ~rounds:(Dolev_strong.rounds ~members) ~adversary:None
+      ~make:(fun _ p -> Dolev_strong.machine states.(p))
+  in
+  List.iter
+    (fun p ->
+      if p <> 0 then
+        match Dolev_strong.output ~default:(Bytes.of_string "DEF") states.(p) with
+        | Some out -> Alcotest.(check bytes) "default" (Bytes.of_string "DEF") out
+        | None -> Alcotest.fail "no output")
+    members
+
+let test_ds_forged_chain_rejected () =
+  (* a corrupt non-sender injecting an unsigned value must not be accepted *)
+  let n = 7 in
+  let members = members_of n in
+  let pkis = make_ds_pki n in
+  let v = Bytes.of_string "real" in
+  let states =
+    Array.init n (fun me ->
+        Dolev_strong.create ~members ~me ~sender:0 ~pki:pkis.(me) ~input:v)
+  in
+  let adversary =
+    {
+      Network.adv_name = "forger";
+      adv_step =
+        (fun net ~round:_ ~honest_staged:_ ->
+          List.iter
+            (fun p ->
+              if p <> 3 then
+                Network.send net ~src:3 ~dst:p ~tag:"test/i"
+                  (Repro_util.Encode.to_bytes (fun b ->
+                       Repro_util.Encode.bytes b (Bytes.of_string "forged");
+                       Repro_util.Encode.list b (fun _ _ -> ()) [])))
+            members);
+    }
+  in
+  let _ =
+    run_committee ~n ~corrupt:[ 3 ] ~rounds:(Dolev_strong.rounds ~members)
+      ~adversary:(Some adversary)
+      ~make:(fun _ p -> Dolev_strong.machine states.(p))
+  in
+  List.iter
+    (fun p ->
+      if p <> 3 then
+        match Dolev_strong.output states.(p) with
+        | Some out -> Alcotest.(check bytes) "real value survives" v out
+        | None -> Alcotest.fail "no output")
+    members
+
+let suite =
+  [
+    Alcotest.test_case "pk honest agreement" `Quick test_pk_all_agree_honest;
+    Alcotest.test_case "pk validity" `Quick test_pk_validity;
+    Alcotest.test_case "pk equivocation" `Quick test_pk_agreement_under_equivocation;
+    Alcotest.test_case "pk persistence" `Quick test_pk_persistence_with_silent_corrupt;
+    Alcotest.test_case "multi unanimous" `Quick test_multi_unanimous;
+    Alcotest.test_case "multi split" `Quick test_multi_split_inputs_agree;
+    Alcotest.test_case "multi equivocator" `Quick test_multi_with_equivocator;
+    Alcotest.test_case "committee unanimous" `Quick test_committee_agree_unanimous;
+    Alcotest.test_case "committee divergent" `Quick test_committee_agree_divergent_candidates;
+    Alcotest.test_case "committee validity" `Quick test_committee_agree_validity_filter;
+    Alcotest.test_case "coin agreement" `Quick test_coin_agreement;
+    Alcotest.test_case "coin fresh" `Quick test_coin_differs_across_runs;
+    Alcotest.test_case "coin silent corrupt" `Quick test_coin_with_silent_corrupt;
+    Alcotest.test_case "coin withholding" `Quick test_coin_unbiased_by_withholding;
+    Alcotest.test_case "rb honest sender" `Quick test_rb_honest_sender;
+    Alcotest.test_case "rb silent sender" `Quick test_rb_silent_sender_no_delivery;
+    Alcotest.test_case "rb equivocation" `Quick test_rb_totality_under_equivocation;
+    Alcotest.test_case "mpc-xor correctness" `Quick test_mpc_xor_correctness;
+    Alcotest.test_case "mpc-xor abort" `Quick test_mpc_xor_abort_on_withholding;
+    Alcotest.test_case "mpc-xor privacy shape" `Quick test_mpc_xor_share_privacy_shape;
+    Alcotest.test_case "gradecast honest" `Quick test_gradecast_honest_sender;
+    Alcotest.test_case "gradecast silent" `Quick test_gradecast_silent_sender;
+    Alcotest.test_case "gradecast gap" `Quick test_gradecast_grade_gap_at_most_one;
+    Alcotest.test_case "dolev-strong honest" `Quick test_ds_honest_sender;
+    Alcotest.test_case "dolev-strong silent sender" `Quick test_ds_silent_sender_default;
+    Alcotest.test_case "dolev-strong forgery" `Quick test_ds_forged_chain_rejected;
+  ]

@@ -1,0 +1,235 @@
+(* Tests for the cryptographic substrate: SHA-256 vectors, HMAC vectors,
+   PRF behaviour, commitments, field arithmetic, Shamir sharing. *)
+
+open Repro_crypto
+
+(* --- SHA-256 NIST example vectors --- *)
+
+let check_sha s expected () =
+  Alcotest.(check string) "digest" expected (Sha256.hex (Sha256.digest_string s))
+
+let test_sha_empty =
+  check_sha "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+
+let test_sha_abc =
+  check_sha "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+
+let test_sha_448 =
+  check_sha "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+
+let test_sha_million () =
+  Alcotest.(check string) "digest"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Sha256.digest_string (String.make 1_000_000 'a')))
+
+let test_sha_streaming () =
+  (* Feeding in odd-sized chunks must equal one-shot digest. *)
+  let data = Bytes.of_string (String.init 1000 (fun i -> Char.chr (i mod 251))) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  let chunks = [ 1; 63; 64; 65; 130; 677 ] in
+  List.iter
+    (fun len ->
+      Sha256.feed ctx data !pos len;
+      pos := !pos + len)
+    chunks;
+  Alcotest.(check string) "streaming = one-shot"
+    (Sha256.hex (Sha256.digest data))
+    (Sha256.hex (Sha256.finish ctx))
+
+(* --- HMAC-SHA256: RFC 4231 test case 2 --- *)
+
+let test_hmac_rfc4231 () =
+  let key = Bytes.of_string "Jefe" in
+  let data = Bytes.of_string "what do ya want for nothing?" in
+  Alcotest.(check string) "tag"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hex (Hmac.mac ~key data))
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are hashed first (RFC 4231 case 6). *)
+  let key = Bytes.make 131 '\xaa' in
+  let data = Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First" in
+  Alcotest.(check string) "tag"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Sha256.hex (Hmac.mac ~key data))
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "k" in
+  let data = Bytes.of_string "payload" in
+  let tag = Hmac.mac ~key data in
+  Alcotest.(check bool) "verify ok" true (Hmac.verify ~key ~data ~tag);
+  Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 1));
+  Alcotest.(check bool) "verify tampered" false (Hmac.verify ~key ~data ~tag)
+
+(* --- Hashx --- *)
+
+let test_hashx_domain_separation () =
+  let d1 = Hashx.hash ~tag:"a" [ Bytes.of_string "x" ] in
+  let d2 = Hashx.hash ~tag:"b" [ Bytes.of_string "x" ] in
+  Alcotest.(check bool) "tags separate" false (Hashx.equal d1 d2);
+  Alcotest.(check int) "kappa size" Hashx.kappa_bytes (Bytes.length d1)
+
+let test_hashx_to_int_nonneg () =
+  for i = 0 to 100 do
+    let d = Hashx.hash_string ~tag:"t" (string_of_int i) in
+    Alcotest.(check bool) "nonneg" true (Hashx.to_int d >= 0)
+  done
+
+(* --- PRF --- *)
+
+let test_prf_expand_deterministic () =
+  let key = Prf.of_seed (Bytes.of_string "seed") in
+  let a = Prf.expand ~key ~label:"l" 100 in
+  let b = Prf.expand ~key ~label:"l" 100 in
+  let c = Prf.expand ~key ~label:"m" 100 in
+  Alcotest.(check bytes) "deterministic" a b;
+  Alcotest.(check bool) "label separates" true (a <> c);
+  Alcotest.(check int) "length" 100 (Bytes.length a)
+
+let test_prf_subset () =
+  let key = Prf.of_seed (Bytes.of_string "s") in
+  let s = Prf.subset ~key ~index:5 ~n:100 ~size:10 in
+  Alcotest.(check int) "size" 10 (List.length s);
+  Alcotest.(check bool) "no self" false (List.mem 5 s);
+  Alcotest.(check bool) "sorted uniq" true (List.sort_uniq compare s = s);
+  (* deterministic *)
+  Alcotest.(check (list int)) "stable" s (Prf.subset ~key ~index:5 ~n:100 ~size:10)
+
+let test_prf_subset_small_n () =
+  let key = Prf.of_seed (Bytes.of_string "s") in
+  let s = Prf.subset ~key ~index:1 ~n:3 ~size:5 in
+  Alcotest.(check (list int)) "all others" [ 0; 2 ] s
+
+(* --- Commitments --- *)
+
+let test_commit_roundtrip () =
+  let rng = Repro_util.Rng.create 11 in
+  let c, o = Commit.commit rng (Bytes.of_string "value") in
+  Alcotest.(check bool) "verifies" true (Commit.verify c o);
+  let o_bad = { o with Commit.value = Bytes.of_string "other" } in
+  Alcotest.(check bool) "binding" false (Commit.verify c o_bad)
+
+let test_commit_hiding_shape () =
+  (* Different nonces give different commitments to the same value. *)
+  let rng = Repro_util.Rng.create 12 in
+  let c1, _ = Commit.commit rng (Bytes.of_string "v") in
+  let c2, _ = Commit.commit rng (Bytes.of_string "v") in
+  Alcotest.(check bool) "distinct" false (Bytes.equal c1 c2)
+
+(* --- Field --- *)
+
+let test_field_basic () =
+  let a = Field.of_int 12345 and b = Field.of_int 67890 in
+  Alcotest.(check bool) "add comm" true (Field.equal (Field.add a b) (Field.add b a));
+  Alcotest.(check bool) "sub inverse" true
+    (Field.equal (Field.sub (Field.add a b) b) a);
+  Alcotest.(check bool) "mul inv" true
+    (Field.equal (Field.mul a (Field.inv a)) Field.one);
+  Alcotest.(check bool) "neg" true (Field.equal (Field.add a (Field.neg a)) Field.zero)
+
+let prop_field_distributive =
+  QCheck.Test.make ~name:"field distributivity" ~count:300
+    QCheck.(triple (int_bound 1000000) (int_bound 1000000) (int_bound 1000000))
+    (fun (a, b, c) ->
+      let a = Field.of_int a and b = Field.of_int b and c = Field.of_int c in
+      Field.equal
+        (Field.mul a (Field.add b c))
+        (Field.add (Field.mul a b) (Field.mul a c)))
+
+let prop_field_inverse =
+  QCheck.Test.make ~name:"field inverse" ~count:300
+    QCheck.(int_range 1 1000000000)
+    (fun a ->
+      let a = Field.of_int a in
+      Field.equal a Field.zero
+      || Field.equal (Field.mul a (Field.inv a)) Field.one)
+
+(* --- Shamir --- *)
+
+let test_shamir_reconstruct () =
+  let rng = Repro_util.Rng.create 5 in
+  let secret = Field.of_int 424242 in
+  let shares = Shamir.share rng ~secret ~threshold:3 ~num_shares:10 in
+  (* any 4 shares reconstruct *)
+  let some4 = List.filteri (fun i _ -> i mod 3 = 0) shares in
+  Alcotest.(check bool) "enough shares" true (List.length some4 >= 4);
+  Alcotest.(check int) "reconstruct" (Field.to_int secret)
+    (Field.to_int (Shamir.reconstruct some4))
+
+let test_shamir_hiding () =
+  (* t shares of two different secrets: cannot distinguish structurally —
+     here we just check t shares do NOT determine the secret: reconstructing
+     from t shares (treated as t-1 degree) gives wrong value almost surely *)
+  let rng = Repro_util.Rng.create 6 in
+  let secret = Field.of_int 99 in
+  let shares = Shamir.share rng ~secret ~threshold:3 ~num_shares:10 in
+  let only3 = List.filteri (fun i _ -> i < 3) shares in
+  let guess = Shamir.reconstruct only3 in
+  Alcotest.(check bool) "threshold shares insufficient" true
+    (not (Field.equal guess secret))
+
+let prop_shamir_roundtrip =
+  QCheck.Test.make ~name:"shamir share/reconstruct" ~count:100
+    QCheck.(pair (int_bound 2000000000) (int_range 1 6))
+    (fun (s, t) ->
+      let rng = Repro_util.Rng.create (s + t) in
+      let secret = Field.of_int s in
+      let shares = Shamir.share rng ~secret ~threshold:t ~num_shares:(2 * t + 1) in
+      Field.equal (Shamir.reconstruct shares) secret)
+
+let test_shamir_share_encode () =
+  let rng = Repro_util.Rng.create 8 in
+  let shares = Shamir.share rng ~secret:(Field.of_int 7) ~threshold:2 ~num_shares:5 in
+  List.iter
+    (fun sh ->
+      let data = Repro_util.Encode.to_bytes (fun b -> Shamir.encode b sh) in
+      match Repro_util.Encode.decode data Shamir.decode with
+      | Some sh' ->
+        Alcotest.(check bool) "roundtrip" true
+          (Field.equal sh.Shamir.x sh'.Shamir.x && Field.equal sh.Shamir.y sh'.Shamir.y)
+      | None -> Alcotest.fail "decode")
+    shares
+
+(* --- Sortition --- *)
+
+let test_sortition_expected_count () =
+  let key = Prf.of_seed (Bytes.of_string "sortition-test") in
+  let t = Sortition.create ~key ~n:10000 ~expected:100 in
+  let c = Sortition.count_signers t in
+  (* 100 expected; allow generous slack *)
+  Alcotest.(check bool) (Printf.sprintf "count %d near 100" c) true (c > 50 && c < 170)
+
+let test_sortition_deterministic () =
+  let key = Prf.of_seed (Bytes.of_string "k") in
+  let t = Sortition.create ~key ~n:1000 ~expected:50 in
+  Alcotest.(check (list int)) "stable" (Sortition.signers t) (Sortition.signers t)
+
+let suite =
+  [
+    Alcotest.test_case "sha256 empty" `Quick test_sha_empty;
+    Alcotest.test_case "sha256 abc" `Quick test_sha_abc;
+    Alcotest.test_case "sha256 448-bit" `Quick test_sha_448;
+    Alcotest.test_case "sha256 million-a" `Slow test_sha_million;
+    Alcotest.test_case "sha256 streaming" `Quick test_sha_streaming;
+    Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;
+    Alcotest.test_case "hmac long key" `Quick test_hmac_long_key;
+    Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+    Alcotest.test_case "hashx domains" `Quick test_hashx_domain_separation;
+    Alcotest.test_case "hashx to_int" `Quick test_hashx_to_int_nonneg;
+    Alcotest.test_case "prf expand" `Quick test_prf_expand_deterministic;
+    Alcotest.test_case "prf subset" `Quick test_prf_subset;
+    Alcotest.test_case "prf subset small n" `Quick test_prf_subset_small_n;
+    Alcotest.test_case "commit roundtrip" `Quick test_commit_roundtrip;
+    Alcotest.test_case "commit hiding shape" `Quick test_commit_hiding_shape;
+    Alcotest.test_case "field basic" `Quick test_field_basic;
+    Alcotest.test_case "shamir reconstruct" `Quick test_shamir_reconstruct;
+    Alcotest.test_case "shamir hiding" `Quick test_shamir_hiding;
+    Alcotest.test_case "shamir encode" `Quick test_shamir_share_encode;
+    Alcotest.test_case "sortition count" `Quick test_sortition_expected_count;
+    Alcotest.test_case "sortition deterministic" `Quick test_sortition_deterministic;
+    QCheck_alcotest.to_alcotest prop_field_distributive;
+    QCheck_alcotest.to_alcotest prop_field_inverse;
+    QCheck_alcotest.to_alcotest prop_shamir_roundtrip;
+  ]

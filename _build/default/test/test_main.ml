@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "polylog-ba"
+    [
+      ("util", Test_util.suite);
+      ("crypto", Test_crypto.suite);
+      ("signatures", Test_signatures.suite);
+      ("snark", Test_snark.suite);
+      ("net", Test_net.suite);
+      ("aetree", Test_aetree.suite);
+      ("consensus", Test_consensus.suite);
+      ("srds", Test_srds.suite);
+      ("protocol", Test_protocol.suite);
+      ("core-misc", Test_core_misc.suite);
+      ("attacks", Test_attacks.suite);
+      ("adversarial-ba", Test_adversarial_ba.suite);
+      ("properties", Test_properties.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the synchronous network simulator, metrics, and the protocol
+   engine. *)
+
+module Network = Repro_net.Network
+module Metrics = Repro_net.Metrics
+module Engine = Repro_net.Engine
+module Wire = Repro_net.Wire
+
+let test_delivery_next_round () =
+  let net = Network.create ~n:3 ~corrupt:[] in
+  let got = Array.make 3 [] in
+  let handler p ~round ~inbox =
+    got.(p) <- got.(p) @ List.map (fun (m : Wire.msg) -> (round, m.src, Bytes.to_string m.payload)) inbox;
+    if round = 0 && p = 0 then
+      Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.of_string "hi")
+  in
+  Network.run net ~rounds:3 (Array.init 3 (fun p -> Some (handler p)));
+  Alcotest.(check (list (triple int int string))) "delivered round 1"
+    [ (1, 0, "hi") ] got.(1);
+  Alcotest.(check (list (triple int int string))) "nothing to 2" [] got.(2)
+
+let test_metrics_accounting () =
+  let net = Network.create ~n:4 ~corrupt:[] in
+  let handler p ~round ~inbox =
+    ignore inbox;
+    if round = 0 && p = 0 then begin
+      Network.send net ~src:0 ~dst:1 ~tag:"x" (Bytes.make 10 'a');
+      Network.send net ~src:0 ~dst:2 ~tag:"x" (Bytes.make 20 'a')
+    end
+  in
+  Network.run net ~rounds:2 (Array.init 4 (fun p -> Some (handler p)));
+  let m = Network.metrics net in
+  (* size = tag(1) + payload + 4 *)
+  Alcotest.(check int) "sender bytes" (15 + 25) (Metrics.party_bytes_sent m 0);
+  Alcotest.(check int) "receiver bytes" 15 (Metrics.party_bytes m 1);
+  Alcotest.(check int) "locality sender" 2 (Metrics.party_locality m 0);
+  Alcotest.(check int) "locality idle" 0 (Metrics.party_locality m 3);
+  Alcotest.(check int) "rounds" 2 (Metrics.rounds m)
+
+let test_report_excludes_corrupt () =
+  let net = Network.create ~n:3 ~corrupt:[ 2 ] in
+  let handler p ~round ~inbox =
+    ignore inbox;
+    if round = 0 && p = 0 then Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.make 5 'x')
+  in
+  Network.run net ~rounds:2 (Array.init 3 (fun p -> if p = 2 then None else Some (handler p)));
+  let r = Metrics.report ~include_party:(Network.is_honest net) (Network.metrics net) in
+  Alcotest.(check int) "max bytes" 10 r.Metrics.max_bytes
+
+let test_rushing_adversary_sees_staged () =
+  let net = Network.create ~n:3 ~corrupt:[ 2 ] in
+  let seen = ref [] in
+  let adversary =
+    {
+      Network.adv_name = "spy";
+      adv_step =
+        (fun net ~round ~honest_staged ->
+          if round = 0 then begin
+            seen := List.map (fun (m : Wire.msg) -> Bytes.to_string m.payload) honest_staged;
+            (* echo what party 0 sent, immediately, to party 1 *)
+            List.iter
+              (fun (m : Wire.msg) ->
+                Network.send net ~src:2 ~dst:1 ~tag:"echo" m.payload)
+              honest_staged
+          end);
+    }
+  in
+  let got = ref [] in
+  let handler p ~round ~inbox =
+    List.iter
+      (fun (m : Wire.msg) -> if p = 1 then got := (round, m.tag, Bytes.to_string m.payload) :: !got)
+      inbox;
+    if round = 0 && p = 0 then Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.of_string "secret")
+  in
+  Network.run net ~adversary ~rounds:2
+    (Array.init 3 (fun p -> if p = 2 then None else Some (handler p)));
+  Alcotest.(check (list string)) "adversary saw" [ "secret" ] !seen;
+  (* both original and echo arrive in round 1 *)
+  Alcotest.(check int) "both delivered" 2 (List.length !got)
+
+let test_flush_drops_in_flight () =
+  let net = Network.create ~n:2 ~corrupt:[] in
+  let received = ref 0 in
+  let handler p ~round ~inbox =
+    received := !received + List.length inbox;
+    if round = 0 && p = 0 then Network.send net ~src:0 ~dst:1 ~tag:"t" Bytes.empty
+  in
+  (* run only the sending round, then flush before delivery is consumed *)
+  Network.run net ~rounds:1 (Array.init 2 (fun p -> Some (handler p)));
+  Network.flush net;
+  Network.run net ~rounds:1 (Array.init 2 (fun p -> Some (handler p)));
+  Alcotest.(check int) "nothing received" 0 !received
+
+(* --- Engine: a 2-round ping/pong across two instances --- *)
+
+let test_engine_multiplexing () =
+  let net = Network.create ~n:4 ~corrupt:[] in
+  let log = ref [] in
+  (* instance "a": 0 <-> 1; instance "b": 2 <-> 3. Same tag namespace. *)
+  let mk_machine me peer inst =
+    {
+      Engine.m_send =
+        (fun ~round ->
+          if round = 0 then [ (peer, Bytes.of_string (Printf.sprintf "%s-ping-%d" inst me)) ]
+          else []);
+      m_recv =
+        (fun ~round msgs ->
+          List.iter
+            (fun (src, payload) ->
+              log := (inst, me, round, src, Bytes.to_string payload) :: !log)
+            msgs);
+    }
+  in
+  let machines p =
+    match p with
+    | 0 -> [ ("a", mk_machine 0 1 "a") ]
+    | 1 -> [ ("a", mk_machine 1 0 "a") ]
+    | 2 -> [ ("b", mk_machine 2 3 "b") ]
+    | 3 -> [ ("b", mk_machine 3 2 "b") ]
+    | _ -> []
+  in
+  Engine.run net ~tag:"test" ~rounds:1 ~machines ();
+  let entries = List.sort compare !log in
+  (* every party got exactly its peer's ping for its own instance, round 0 *)
+  let expected =
+    List.sort compare
+      [
+        ("a", 0, 0, 1, "a-ping-1");
+        ("a", 1, 0, 0, "a-ping-0");
+        ("b", 2, 0, 3, "b-ping-3");
+        ("b", 3, 0, 2, "b-ping-2");
+      ]
+  in
+  Alcotest.(check int) "entry count" 4 (List.length entries);
+  Alcotest.(check bool) "contents" true (entries = expected)
+
+let test_engine_instance_isolation () =
+  (* A message for instance "a" must never reach machine "b" even on the
+     same party. *)
+  let net = Network.create ~n:2 ~corrupt:[] in
+  let b_got = ref 0 in
+  let machines p =
+    match p with
+    | 0 ->
+      [
+        ( "a",
+          {
+            Engine.m_send = (fun ~round -> if round = 0 then [ (1, Bytes.of_string "x") ] else []);
+            m_recv = (fun ~round:_ _ -> ());
+          } );
+      ]
+    | 1 ->
+      [
+        ( "a",
+          { Engine.m_send = (fun ~round:_ -> []); m_recv = (fun ~round:_ _ -> ()) } );
+        ( "b",
+          {
+            Engine.m_send = (fun ~round:_ -> []);
+            m_recv = (fun ~round:_ msgs -> b_got := !b_got + List.length msgs);
+          } );
+      ]
+    | _ -> []
+  in
+  Engine.run net ~tag:"iso" ~rounds:1 ~machines ();
+  Alcotest.(check int) "b received nothing" 0 !b_got
+
+let test_engine_rounds_observed () =
+  (* m_recv must be called once per completed round even with no traffic. *)
+  let net = Network.create ~n:1 ~corrupt:[] in
+  let rounds_seen = ref [] in
+  let machines _ =
+    [
+      ( "solo",
+        {
+          Engine.m_send = (fun ~round:_ -> []);
+          m_recv = (fun ~round msgs -> if msgs = [] then rounds_seen := round :: !rounds_seen);
+        } );
+    ]
+  in
+  Engine.run net ~tag:"r" ~rounds:3 ~machines ();
+  Alcotest.(check (list int)) "all rounds ticked" [ 0; 1; 2 ] (List.sort compare !rounds_seen)
+
+let test_tag_grouping () =
+  List.iter
+    (fun (tag, expected) ->
+      Alcotest.(check string) tag expected (Metrics.tag_group tag))
+    [
+      ("aggr-ba-2/15", "aggr-ba");
+      ("aggr-ba-3/4", "aggr-ba");
+      ("sig-ba", "sig-ba");
+      ("boost-x0", "boost-x");
+      ("aecomm/pair-ba", "aecomm/pair-ba");
+      ("aecomm/cert-x3", "aecomm/cert-x");
+      ("elect/up/2", "elect/up");
+      ("supreme-ba/ba", "supreme-ba");
+    ]
+
+let test_tag_breakdown_accumulates () =
+  let net = Network.create ~n:2 ~corrupt:[] in
+  let handler p ~round ~inbox =
+    ignore inbox;
+    if round = 0 && p = 0 then begin
+      Network.send net ~src:0 ~dst:1 ~tag:"aggr-ba-1/3" (Bytes.make 10 'a');
+      Network.send net ~src:0 ~dst:1 ~tag:"aggr-ba-2/5" (Bytes.make 20 'a');
+      Network.send net ~src:0 ~dst:1 ~tag:"sig-ba" (Bytes.make 5 'a')
+    end
+  in
+  Network.run net ~rounds:2 (Array.init 2 (fun p -> Some (handler p)));
+  let bd = Metrics.tag_breakdown (Network.metrics net) in
+  (match List.assoc_opt "aggr-ba" bd with
+  | Some b -> Alcotest.(check bool) "aggr grouped" true (b > 30)
+  | None -> Alcotest.fail "missing aggr-ba group");
+  Alcotest.(check bool) "sig present" true (List.mem_assoc "sig-ba" bd);
+  (* sorted descending *)
+  let rec desc = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && desc rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (desc bd)
+
+let suite =
+  [
+    Alcotest.test_case "delivery next round" `Quick test_delivery_next_round;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+    Alcotest.test_case "report excludes corrupt" `Quick test_report_excludes_corrupt;
+    Alcotest.test_case "rushing adversary" `Quick test_rushing_adversary_sees_staged;
+    Alcotest.test_case "flush" `Quick test_flush_drops_in_flight;
+    Alcotest.test_case "engine multiplexing" `Quick test_engine_multiplexing;
+    Alcotest.test_case "engine isolation" `Quick test_engine_instance_isolation;
+    Alcotest.test_case "engine rounds" `Quick test_engine_rounds_observed;
+    Alcotest.test_case "tag grouping" `Quick test_tag_grouping;
+    Alcotest.test_case "tag breakdown" `Quick test_tag_breakdown_accumulates;
+  ]

@@ -1,0 +1,152 @@
+(* Tests for the simulated SNARK oracle and the PCD layer. *)
+
+open Repro_snark
+
+let rel_even : int Snark.relation =
+  {
+    Snark.rel_tag = "even";
+    holds = (fun ~statement ~witness -> Bytes.length statement >= 0 && witness mod 2 = 0);
+  }
+
+let test_snark_prove_verify () =
+  let rng = Repro_util.Rng.create 1 in
+  let crs = Snark.setup rng in
+  let st = Bytes.of_string "statement" in
+  match Snark.prove crs rel_even ~statement:st ~witness:4 with
+  | None -> Alcotest.fail "honest prove failed"
+  | Some p ->
+    Alcotest.(check bool) "verifies" true (Snark.verify crs rel_even ~statement:st p);
+    Alcotest.(check int) "succinct" Snark.proof_size (Bytes.length p)
+
+let test_snark_false_statement () =
+  let rng = Repro_util.Rng.create 2 in
+  let crs = Snark.setup rng in
+  Alcotest.(check bool) "no proof for bad witness" true
+    (Snark.prove crs rel_even ~statement:(Bytes.of_string "x") ~witness:3 = None)
+
+let test_snark_forgery_fails () =
+  let rng = Repro_util.Rng.create 3 in
+  let crs = Snark.setup rng in
+  let fake = Snark.fake_proof rng in
+  Alcotest.(check bool) "fake rejected" false
+    (Snark.verify crs rel_even ~statement:(Bytes.of_string "x") fake)
+
+let test_snark_replay_other_statement_fails () =
+  let rng = Repro_util.Rng.create 4 in
+  let crs = Snark.setup rng in
+  let p = Option.get (Snark.prove crs rel_even ~statement:(Bytes.of_string "a") ~witness:2) in
+  Alcotest.(check bool) "proof bound to statement" false
+    (Snark.verify crs rel_even ~statement:(Bytes.of_string "b") p)
+
+let test_snark_relation_separation () =
+  let rng = Repro_util.Rng.create 5 in
+  let crs = Snark.setup rng in
+  let rel2 : int Snark.relation =
+    { Snark.rel_tag = "other"; holds = (fun ~statement:_ ~witness:_ -> true) }
+  in
+  let st = Bytes.of_string "s" in
+  let p = Option.get (Snark.prove crs rel_even ~statement:st ~witness:2) in
+  Alcotest.(check bool) "relations separated" false
+    (Snark.verify crs rel2 ~statement:st p)
+
+let test_snark_crs_separation () =
+  let rng = Repro_util.Rng.create 6 in
+  let crs1 = Snark.setup rng in
+  let crs2 = Snark.setup rng in
+  let st = Bytes.of_string "s" in
+  let p = Option.get (Snark.prove crs1 rel_even ~statement:st ~witness:2) in
+  Alcotest.(check bool) "crs separated" false (Snark.verify crs2 rel_even ~statement:st p)
+
+(* --- PCD: a counting chain, the shape the SRDS aggregation uses --- *)
+
+let counter_statement v = Bytes.of_string (string_of_int v)
+
+(* Compliance: output counter = sum of input counters, or 1 at sources with
+   local witness "base". *)
+let counting_pcd crs =
+  Pcd.create crs ~tag:"count"
+    ~predicate:(fun ~msg ~local ~inputs ->
+      match int_of_string_opt (Bytes.to_string msg) with
+      | None -> false
+      | Some out ->
+        if inputs = [] then out = 1 && Bytes.to_string local = "base"
+        else
+          let sum =
+            List.fold_left
+              (fun acc i ->
+                match int_of_string_opt (Bytes.to_string i) with
+                | Some v -> acc + v
+                | None -> -1000000)
+              0 inputs
+          in
+          out = sum)
+
+let test_pcd_chain () =
+  let rng = Repro_util.Rng.create 7 in
+  let crs = Snark.setup rng in
+  let pcd = counting_pcd crs in
+  let base = Bytes.of_string "base" in
+  let p1 = Option.get (Pcd.prove pcd ~msg:(counter_statement 1) ~local:base ~inputs:[]) in
+  let p1' = Option.get (Pcd.prove pcd ~msg:(counter_statement 1) ~local:base ~inputs:[]) in
+  let p2 =
+    Pcd.prove pcd ~msg:(counter_statement 2) ~local:Bytes.empty
+      ~inputs:[ (counter_statement 1, p1); (counter_statement 1, p1') ]
+  in
+  match p2 with
+  | None -> Alcotest.fail "aggregation failed"
+  | Some p2 ->
+    Alcotest.(check bool) "depth-2 verifies" true (Pcd.verify pcd ~msg:(counter_statement 2) p2);
+    (* deep chain *)
+    let rec grow proof value depth =
+      if depth = 0 then (proof, value)
+      else
+        let v' = value * 2 in
+        let p' =
+          Option.get
+            (Pcd.prove pcd ~msg:(counter_statement v') ~local:Bytes.empty
+               ~inputs:
+                 [ (counter_statement value, proof); (counter_statement value, proof) ])
+        in
+        grow p' v' (depth - 1)
+    in
+    let deep, v = grow p2 2 10 in
+    Alcotest.(check bool) "depth-12 verifies" true (Pcd.verify pcd ~msg:(counter_statement v) deep);
+    Alcotest.(check int) "proof stays succinct" Pcd.proof_size (Bytes.length deep)
+
+let test_pcd_noncompliant_rejected () =
+  let rng = Repro_util.Rng.create 8 in
+  let crs = Snark.setup rng in
+  let pcd = counting_pcd crs in
+  let base = Bytes.of_string "base" in
+  (* claiming 2 at a source is non-compliant *)
+  Alcotest.(check bool) "bad source" true
+    (Pcd.prove pcd ~msg:(counter_statement 2) ~local:base ~inputs:[] = None);
+  (* inflating the sum is non-compliant *)
+  let p1 = Option.get (Pcd.prove pcd ~msg:(counter_statement 1) ~local:base ~inputs:[]) in
+  Alcotest.(check bool) "bad sum" true
+    (Pcd.prove pcd ~msg:(counter_statement 5) ~local:Bytes.empty
+       ~inputs:[ (counter_statement 1, p1) ]
+    = None)
+
+let test_pcd_bad_input_proof_rejected () =
+  let rng = Repro_util.Rng.create 9 in
+  let crs = Snark.setup rng in
+  let pcd = counting_pcd crs in
+  let fake = Snark.fake_proof rng in
+  Alcotest.(check bool) "fake input rejected" true
+    (Pcd.prove pcd ~msg:(counter_statement 1) ~local:Bytes.empty
+       ~inputs:[ (counter_statement 1, fake) ]
+    = None)
+
+let suite =
+  [
+    Alcotest.test_case "snark prove/verify" `Quick test_snark_prove_verify;
+    Alcotest.test_case "snark false statement" `Quick test_snark_false_statement;
+    Alcotest.test_case "snark forgery" `Quick test_snark_forgery_fails;
+    Alcotest.test_case "snark replay" `Quick test_snark_replay_other_statement_fails;
+    Alcotest.test_case "snark relation sep" `Quick test_snark_relation_separation;
+    Alcotest.test_case "snark crs sep" `Quick test_snark_crs_separation;
+    Alcotest.test_case "pcd chain" `Quick test_pcd_chain;
+    Alcotest.test_case "pcd noncompliant" `Quick test_pcd_noncompliant_rejected;
+    Alcotest.test_case "pcd bad input" `Quick test_pcd_bad_input_proof_rejected;
+  ]

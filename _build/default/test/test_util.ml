@@ -1,0 +1,211 @@
+(* Unit and property tests for repro_util. *)
+
+open Repro_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 16 (fun _ -> Rng.next64 a) in
+  let ys = List.init 16 (fun _ -> Rng.next64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_label_stable () =
+  let a = Rng.create 9 in
+  let x = Rng.next64 (Rng.of_label a "alpha") in
+  let y = Rng.next64 (Rng.of_label a "alpha") in
+  let z = Rng.next64 (Rng.of_label a "beta") in
+  Alcotest.(check int64) "same label same stream" x y;
+  Alcotest.(check bool) "different label differs" true (x <> z)
+
+let test_rng_subset () =
+  let rng = Rng.create 3 in
+  let s = Rng.subset rng ~n:50 ~size:10 in
+  Alcotest.(check int) "size" 10 (List.length s);
+  Alcotest.(check bool) "sorted distinct" true
+    (List.sort_uniq compare s = s);
+  List.iter (fun i -> Alcotest.(check bool) "range" true (i >= 0 && i < 50)) s
+
+let test_encode_roundtrip () =
+  let data =
+    Encode.to_bytes (fun b ->
+        Encode.varint b 0;
+        Encode.varint b 127;
+        Encode.varint b 128;
+        Encode.varint b 300000;
+        Encode.bool b true;
+        Encode.string b "hello";
+        Encode.list b Encode.varint [ 1; 2; 3 ];
+        Encode.option b Encode.string None;
+        Encode.option b Encode.string (Some "x"))
+  in
+  let parsed =
+    Encode.decode data (fun src ->
+        let a = Encode.r_varint src in
+        let b = Encode.r_varint src in
+        let c = Encode.r_varint src in
+        let d = Encode.r_varint src in
+        let e = Encode.r_bool src in
+        let f = Encode.r_string src in
+        let g = Encode.r_list src Encode.r_varint in
+        let h = Encode.r_option src Encode.r_string in
+        let i = Encode.r_option src Encode.r_string in
+        (a, b, c, d, e, f, g, h, i))
+  in
+  match parsed with
+  | Some (0, 127, 128, 300000, true, "hello", [ 1; 2; 3 ], None, Some "x") -> ()
+  | _ -> Alcotest.fail "roundtrip mismatch"
+
+let test_encode_malformed () =
+  (* truncated input must yield None, not raise *)
+  let data = Encode.to_bytes (fun b -> Encode.string b "hello") in
+  let truncated = Bytes.sub data 0 (Bytes.length data - 2) in
+  Alcotest.(check bool) "truncated rejected" true
+    (Encode.decode truncated Encode.r_string = None);
+  (* trailing garbage rejected *)
+  let padded = Bytes.cat data (Bytes.of_string "!") in
+  Alcotest.(check bool) "trailing rejected" true
+    (Encode.decode padded Encode.r_string = None)
+
+let test_encode_implausible_list () =
+  (* a huge length prefix with no data must be rejected promptly *)
+  let data = Encode.to_bytes (fun b -> Encode.varint b 1000000) in
+  Alcotest.(check bool) "bogus list rejected" true
+    (Encode.decode data (fun src -> Encode.r_list src Encode.r_u8) = None)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound 1_000_000_000)
+    (fun v ->
+      let data = Encode.to_bytes (fun b -> Encode.varint b v) in
+      Encode.decode data Encode.r_varint = Some v)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:200 QCheck.string (fun s ->
+      let data = Encode.to_bytes (fun b -> Encode.bytes b (Bytes.of_string s)) in
+      Encode.decode data Encode.r_bytes = Some (Bytes.of_string s))
+
+let test_mathx () =
+  Alcotest.(check int) "ceil_div" 3 (Mathx.ceil_div 7 3);
+  Alcotest.(check int) "ceil_div exact" 2 (Mathx.ceil_div 6 3);
+  Alcotest.(check int) "log2_ceil 1" 0 (Mathx.log2_ceil 1);
+  Alcotest.(check int) "log2_ceil 8" 3 (Mathx.log2_ceil 8);
+  Alcotest.(check int) "log2_ceil 9" 4 (Mathx.log2_ceil 9);
+  Alcotest.(check int) "log2_floor 9" 3 (Mathx.log2_floor 9);
+  Alcotest.(check int) "pow_int" 243 (Mathx.pow_int 3 5);
+  Alcotest.(check int) "isqrt" 31 (Mathx.isqrt 1000);
+  Alcotest.(check int) "isqrt exact" 32 (Mathx.isqrt 1024)
+
+let prop_isqrt =
+  QCheck.Test.make ~name:"isqrt bounds" ~count:500
+    QCheck.(int_bound 10_000_000)
+    (fun n ->
+      let r = Mathx.isqrt n in
+      r * r <= n && (r + 1) * (r + 1) > n)
+
+let test_loglog_slope () =
+  (* y = x^2 should fit slope ~2 *)
+  let pts = List.init 10 (fun i -> let x = float_of_int (i + 2) in (x, x ** 2.0)) in
+  let s = Mathx.loglog_slope pts in
+  Alcotest.(check bool) "slope ~2" true (abs_float (s -. 2.0) < 0.01)
+
+let test_bitset () =
+  let b = Bitset.create 100 in
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 99;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem" true (Bitset.mem b 63);
+  Alcotest.(check bool) "not mem" false (Bitset.mem b 50);
+  Bitset.clear b 63;
+  Alcotest.(check int) "after clear" 2 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Bitset.to_list b)
+
+let test_bitset_encode () =
+  let b = Bitset.of_list 100 [ 1; 17; 63; 64; 99 ] in
+  let data = Encode.to_bytes (fun sink -> Bitset.encode sink b) in
+  (* header + 13 bytes payload *)
+  Alcotest.(check bool) "size ~ n/8" true (Bytes.length data <= 16);
+  match Encode.decode data Bitset.decode with
+  | Some b' -> Alcotest.(check (list int)) "roundtrip" (Bitset.to_list b) (Bitset.to_list b')
+  | None -> Alcotest.fail "decode failed"
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset roundtrip" ~count:200
+    QCheck.(list (int_bound 199))
+    (fun items ->
+      let b = Bitset.of_list 200 items in
+      let data = Encode.to_bytes (fun sink -> Bitset.encode sink b) in
+      match Encode.decode data Bitset.decode with
+      | Some b' -> Bitset.to_list b = Bitset.to_list b'
+      | None -> false)
+
+let test_tablefmt () =
+  let t =
+    Tablefmt.create ~title:"t" ~headers:[ "a"; "b" ]
+      ~aligns:[ Tablefmt.Left; Tablefmt.Right ]
+  in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_row t [ "longer"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 4 = "== t")
+
+let test_ascii_plot () =
+  let s =
+    Ascii_plot.render ~width:40 ~height:8 ~title:"t" ~x_label:"n" ~y_label:"b"
+      [
+        Ascii_plot.make_series ~glyph:'*' ~label:"lin"
+          [ (64., 64.); (128., 128.); (256., 256.) ];
+        Ascii_plot.make_series ~glyph:'o' ~label:"flat"
+          [ (64., 100.); (128., 100.); (256., 100.) ];
+      ]
+  in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "has glyphs" true
+    (String.contains s '*' && String.contains s 'o');
+  let contains_sub hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has legend" true (contains_sub s "lin")
+
+let test_ascii_plot_empty () =
+  let s = Ascii_plot.render ~title:"empty" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "graceful" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng label" `Quick test_rng_label_stable;
+    Alcotest.test_case "rng subset" `Quick test_rng_subset;
+    Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+    Alcotest.test_case "encode malformed" `Quick test_encode_malformed;
+    Alcotest.test_case "encode implausible list" `Quick test_encode_implausible_list;
+    Alcotest.test_case "mathx" `Quick test_mathx;
+    Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
+    Alcotest.test_case "bitset" `Quick test_bitset;
+    Alcotest.test_case "bitset encode" `Quick test_bitset_encode;
+    Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+    Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
+    Alcotest.test_case "ascii plot empty" `Quick test_ascii_plot_empty;
+    QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_isqrt;
+    QCheck_alcotest.to_alcotest prop_bitset_roundtrip;
+  ]

@@ -1,0 +1,21 @@
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Full benchmark harness (standard mode; BENCH_FULL=1 env for larger sweeps).
+bench: build
+	./_build/default/bench/main.exe
+
+# <30s subset that still writes BENCH_results.json, then checks it parses.
+bench-smoke: build
+	BENCH_SMOKE=1 ./_build/default/bench/main.exe
+	python3 -m json.tool BENCH_results.json > /dev/null && \
+	  echo "BENCH_results.json: valid JSON"
+
+clean:
+	dune clean
+	rm -f BENCH_results.json

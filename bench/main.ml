@@ -15,12 +15,91 @@
 open Repro_core
 module Rng = Repro_util.Rng
 module Tablefmt = Repro_util.Tablefmt
+module Parallel = Repro_util.Parallel
 module Metrics = Repro_net.Metrics
 
 let full = Sys.getenv_opt "BENCH_FULL" <> None
 
+(* BENCH_SMOKE=1: a <30s subset (Table 1 at one n + the timing microbenches)
+   that still exercises the whole JSON pipeline; `make bench-smoke` uses it
+   to validate the output parses. BENCH_FULL wins if both are set. *)
+let smoke = (not full) && Sys.getenv_opt "BENCH_SMOKE" <> None
+let mode = if full then "full" else if smoke then "smoke" else "standard"
+
 let section title =
   Printf.printf "\n############ %s ############\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_results.json                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Collected as experiments run; written once at exit. Hand-rolled writer:
+   the repo deliberately has no JSON dependency. *)
+let experiment_times : (string * float) list ref = ref []
+let table1_json_rows : string list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let row_to_json (r : Runner.row) =
+  Printf.sprintf
+    "{\"protocol\":\"%s\",\"n\":%d,\"beta\":%.3f,\"rounds\":%d,\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"total_bytes\":%d,\"locality\":%d,\"ok\":%b,\"note\":\"%s\"}"
+    (json_escape r.Runner.r_protocol)
+    r.Runner.r_n r.Runner.r_beta r.Runner.r_rounds r.Runner.r_max_bytes
+    r.Runner.r_mean_bytes r.Runner.r_p50_bytes r.Runner.r_p95_bytes
+    r.Runner.r_total_bytes r.Runner.r_locality r.Runner.r_ok
+    (json_escape r.Runner.r_note)
+
+let write_results ~total_wall_s =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_s\": %.2f,\n" total_wall_s);
+  Buffer.add_string buf "  \"experiments\": [\n";
+  let times = List.rev !experiment_times in
+  List.iteri
+    (fun i (name, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.2f}%s\n"
+           (json_escape name) dt
+           (if i = List.length times - 1 then "" else ",")))
+    times;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"table1\": [\n";
+  let rows = List.rev !table1_json_rows in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s%s\n" row
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_results.json (%s mode, %d domains)\n" mode
+    (Parallel.domains ())
+
+let timed_experiment name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  experiment_times := (name, Unix.gettimeofday () -. t0) :: !experiment_times
 
 (* ------------------------------------------------------------------ *)
 (* T1/E1: Table 1, measured                                            *)
@@ -28,8 +107,14 @@ let section title =
 
 let bench_table1 () =
   section "T1/E1: Table 1 (measured rows)";
-  let ns = if full then [ 64; 128; 256 ] else [ 64; 128 ] in
-  Tablefmt.print (Runner.table1 ~ns ~beta:0.1 ~seed:1 ())
+  let ns =
+    if full then [ 64; 128; 256 ] else if smoke then [ 64 ] else [ 64; 128 ]
+  in
+  (* Compute the cells once (in parallel on the domain pool), then reuse the
+     same rows for the printed table and the JSON report. *)
+  let rows = Runner.table1_rows ~ns ~beta:0.1 ~seed:1 () in
+  table1_json_rows := List.rev_map row_to_json rows;
+  Tablefmt.print (Runner.table1_of_rows ~beta:0.1 rows)
 
 (* ------------------------------------------------------------------ *)
 (* E2-E4: scaling sweep, growth exponents                              *)
@@ -99,12 +184,16 @@ let bench_games () =
       ~headers:[ "scheme"; "adversary"; "robust held"; "trials" ]
       ~aligns:[ Tablefmt.Left; Left; Right; Right ]
   in
+  (* Trials are independent (each derives its own seed), so run them on the
+     domain pool; the per-seed outcomes are identical to the sequential run. *)
+  let count_true = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in
   let run_owf name adv =
-    let ok = ref 0 in
-    for seed = 1 to trials do
-      if (G_owf.robustness ~n ~t ~seed (adv ())).G_owf.r_accepted then incr ok
-    done;
-    Tablefmt.add_row tbl [ "owf"; name; string_of_int !ok; string_of_int trials ]
+    let ok =
+      count_true
+        (Parallel.init trials (fun i ->
+             (G_owf.robustness ~n ~t ~seed:(i + 1) (adv ())).G_owf.r_accepted))
+    in
+    Tablefmt.add_row tbl [ "owf"; name; string_of_int ok; string_of_int trials ]
   in
   run_owf "passive" (fun () -> G_owf.passive_adversary ~t);
   run_owf "silent" (fun () -> G_owf.silent_adversary ~t);
@@ -112,11 +201,12 @@ let bench_games () =
   run_owf "duplicate" (fun () -> G_owf.duplicate_adversary ~t);
   run_owf "isolating" (fun () -> G_owf.isolating_adversary ~t);
   let run_snark name adv =
-    let ok = ref 0 in
-    for seed = 1 to trials do
-      if (G_snark.robustness ~n ~t ~seed (adv ())).G_snark.r_accepted then incr ok
-    done;
-    Tablefmt.add_row tbl [ "snark"; name; string_of_int !ok; string_of_int trials ]
+    let ok =
+      count_true
+        (Parallel.init trials (fun i ->
+             (G_snark.robustness ~n ~t ~seed:(i + 1) (adv ())).G_snark.r_accepted))
+    in
+    Tablefmt.add_row tbl [ "snark"; name; string_of_int ok; string_of_int trials ]
   in
   run_snark "passive" (fun () -> G_snark.passive_adversary ~t);
   run_snark "silent" (fun () -> G_snark.silent_adversary ~t);
@@ -133,38 +223,39 @@ let bench_games () =
       ~aligns:[ Tablefmt.Left; Left; Right; Right ]
   in
   let run_f_owf name adv =
-    let wins = ref 0 in
-    for seed = 1 to trials do
-      if (G_owf.forgery ~n ~t ~seed (adv ())).G_owf.f_win then incr wins
-    done;
-    Tablefmt.add_row tbl [ "owf"; name; string_of_int !wins; string_of_int trials ]
+    let wins =
+      count_true
+        (Parallel.init trials (fun i ->
+             (G_owf.forgery ~n ~t ~seed:(i + 1) (adv ())).G_owf.f_win))
+    in
+    Tablefmt.add_row tbl [ "owf"; name; string_of_int wins; string_of_int trials ]
   in
   run_f_owf "replay" (fun () -> G_owf.replay_adversary ~t ~s_count);
   run_f_owf "minority" (fun () -> G_owf.minority_adversary ~t ~s_count);
   run_f_owf "dup-inflate" (fun () ->
       G_owf.duplicate_inflation_adversary ~t ~s_count ~copies:6);
   let run_f_snark name adv =
-    let wins = ref 0 in
-    for seed = 1 to trials do
-      if (G_snark.forgery ~n ~t ~seed (adv ())).G_snark.f_win then incr wins
-    done;
-    Tablefmt.add_row tbl [ "snark"; name; string_of_int !wins; string_of_int trials ]
+    let wins =
+      count_true
+        (Parallel.init trials (fun i ->
+             (G_snark.forgery ~n ~t ~seed:(i + 1) (adv ())).G_snark.f_win))
+    in
+    Tablefmt.add_row tbl [ "snark"; name; string_of_int wins; string_of_int trials ]
   in
   run_f_snark "replay" (fun () -> G_snark.replay_adversary ~t ~s_count);
   run_f_snark "minority" (fun () -> G_snark.minority_adversary ~t ~s_count);
   run_f_snark "dup-inflate" (fun () ->
       G_snark.duplicate_inflation_adversary ~t ~s_count ~copies:6);
-  let wins = ref 0 in
-  for seed = 1 to trials do
-    if
-      (G_abl.forgery ~n ~t ~seed
-         (G_abl.duplicate_inflation_adversary ~t ~s_count ~copies:8))
-        .G_abl
-        .f_win
-    then incr wins
-  done;
+  let wins =
+    count_true
+      (Parallel.init trials (fun i ->
+           (G_abl.forgery ~n ~t ~seed:(i + 1)
+              (G_abl.duplicate_inflation_adversary ~t ~s_count ~copies:8))
+             .G_abl
+             .f_win))
+  in
   Tablefmt.add_row tbl
-    [ "ABLATED (no ranges)"; "dup-inflate"; string_of_int !wins; string_of_int trials ];
+    [ "ABLATED (no ranges)"; "dup-inflate"; string_of_int wins; string_of_int trials ];
   Tablefmt.print tbl;
   print_endline
     "  (the ablated row validates the mechanism: removing the CRH/range";
@@ -176,17 +267,17 @@ let bench_games () =
 
 module Cert_size (S : Srds_intf.SCHEME) = struct
   module W = Srds_intf.Wire (S)
+  module B = Srds_intf.Batch (S)
 
   let measure ~n ~seed =
     let rng = Rng.create seed in
     let pp, master = S.setup rng ~n in
-    let keys = Array.init n (fun i -> S.keygen pp master rng ~index:i) in
+    let keys = B.keygen_all pp master rng ~count:n in
     let vks = Array.map fst keys in
     let msg = Bytes.of_string "cert" in
     let sigs =
-      List.filter_map
-        (fun i -> S.sign pp (snd keys.(i)) ~index:i ~msg)
-        (List.init n (fun i -> i))
+      List.filter_map Fun.id
+        (Array.to_list (B.sign_all pp (Array.map snd keys) ~msg))
     in
     let rec aggregate sigs =
       match sigs with
@@ -743,20 +834,32 @@ let () =
   print_endline "Reproduction benchmark harness:";
   print_endline
     "\"Breaking the O(sqrt n)-Bit Barrier: BA with Polylog Bits Per Party\"";
-  Printf.printf "(mode: %s; set BENCH_FULL=1 for larger sweeps)\n"
-    (if full then "full" else "standard");
-  bench_table1 ();
-  bench_sweep ();
-  bench_games ();
-  bench_certificates ();
-  bench_succinctness ();
-  bench_broadcast ();
-  bench_breakdown ();
-  bench_tree_quality ();
-  bench_targeted_corruption ();
-  bench_protocol_under_attack ();
-  bench_boost ();
-  bench_thm14 ();
-  bench_vrf_grinding ();
-  bechamel_benches ();
-  Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf
+    "(mode: %s; BENCH_FULL=1 for larger sweeps, BENCH_SMOKE=1 for a <30s \
+     subset; REPRO_DOMAINS=%d)\n"
+    mode (Parallel.domains ());
+  let experiments =
+    if smoke then
+      [ ("table1", bench_table1); ("breakdown", bench_breakdown) ]
+    else
+      [
+        ("table1", bench_table1);
+        ("sweep", bench_sweep);
+        ("games", bench_games);
+        ("certificates", bench_certificates);
+        ("succinctness", bench_succinctness);
+        ("broadcast", bench_broadcast);
+        ("breakdown", bench_breakdown);
+        ("tree_quality", bench_tree_quality);
+        ("targeted_corruption", bench_targeted_corruption);
+        ("protocol_under_attack", bench_protocol_under_attack);
+        ("boost", bench_boost);
+        ("thm14", bench_thm14);
+        ("vrf_grinding", bench_vrf_grinding);
+        ("bechamel", bechamel_benches);
+      ]
+  in
+  List.iter (fun (name, f) -> timed_experiment name f) experiments;
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal bench wall time: %.1fs\n" total;
+  write_results ~total_wall_s:total

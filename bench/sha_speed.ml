@@ -1,0 +1,27 @@
+(* Standalone SHA-256 throughput probe: the one number the multicore /
+   hot-path work optimizes for. Prints MB/s over 64-byte and 4 KiB inputs
+   so regressions in either the compression loop or the streaming glue show
+   up. Each figure is the best of several timed batches — the minimum batch
+   time is robust to scheduler noise on a shared box. *)
+
+let throughput ~len ~iters ~batches =
+  let data = Bytes.init len (fun i -> Char.chr (i land 0xFF)) in
+  for _ = 1 to 1000 do
+    ignore (Repro_crypto.Sha256.digest data)
+  done;
+  let best = ref infinity in
+  for _ = 1 to batches do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Repro_crypto.Sha256.digest data)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  float_of_int (len * iters) /. !best /. 1e6
+
+let () =
+  let mbs64 = throughput ~len:64 ~iters:100_000 ~batches:8 in
+  let mbs4k = throughput ~len:4096 ~iters:5_000 ~batches:8 in
+  Printf.printf "sha256 64B:   %8.1f MB/s\n" mbs64;
+  Printf.printf "sha256 4KiB:  %8.1f MB/s\n" mbs4k

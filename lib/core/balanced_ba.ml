@@ -62,20 +62,37 @@ type result = {
 let default_config ?adversary ~n ~corrupt ~inputs ~seed () =
   { n; corrupt; inputs; seed; boost_degree = None; adversary }
 
-(* Phase timing, printed to stderr when REPRO_TRACE is set. *)
-let trace_enabled = lazy (Sys.getenv_opt "REPRO_TRACE" <> None)
+(* Phase timing and diagnostics flow through a [Logs] debug source, so
+   normal runs are quiet and any reporter/level policy the embedding
+   application installs applies here too. Setting REPRO_TRACE in the
+   environment keeps the old one-knob behavior: it enables Debug for this
+   source and installs a stderr reporter if the application never set one. *)
+let src = Logs.Src.create "repro.ba" ~doc:"Balanced BA phase timing"
+
+module Log = (val Logs.src_log src)
+
+let () =
+  if Sys.getenv_opt "REPRO_TRACE" <> None then begin
+    Logs.Src.set_level src (Some Logs.Debug);
+    Logs.set_reporter
+      (Logs.format_reporter ~app:Format.err_formatter
+         ~dst:Format.err_formatter ())
+  end
+
+let trace_enabled () = Logs.Src.level src = Some Logs.Debug
 
 let timed name f =
-  if Lazy.force trace_enabled then begin
+  if trace_enabled () then begin
     let t0 = Unix.gettimeofday () in
     let r = f () in
-    Printf.eprintf "[ba] %-28s %6.2fs\n%!" name (Unix.gettimeofday () -. t0);
+    Log.debug (fun m -> m "%-28s %6.2fs" name (Unix.gettimeofday () -. t0));
     r
   end
   else f ()
 
 module Make (S : Srds_intf.SCHEME) = struct
   module W = Srds_intf.Wire (S)
+  module B = Srds_intf.Batch (S)
   module Agg = Aggr_sig.Make (S)
 
   (* Execution context shared by BA and broadcast: network, tree, SRDS
@@ -106,7 +123,9 @@ module Make (S : Srds_intf.SCHEME) = struct
     let pp, master = S.setup setup_rng ~n:num_slots in
     let keys =
       timed "A: keygen" (fun () ->
-          Array.init num_slots (fun s -> S.keygen pp master setup_rng ~index:s))
+          (* Fanned out on the domain pool; per-slot rng children keep the
+             result independent of the pool size. *)
+          B.keygen_all pp master setup_rng ~count:num_slots)
     in
     let net = Network.create ~n ~corrupt:cfg.corrupt in
     (* Phase B: election establishes the tree. *)
@@ -189,10 +208,11 @@ module Make (S : Srds_intf.SCHEME) = struct
             ~label:("pair-" ^ label) ~values:pair_values)
     in
     Network.flush net;
-    if Lazy.force trace_enabled then begin
+    if trace_enabled () then begin
       let got = Array.fold_left (fun a v -> if v <> None then a + 1 else a) 0 received_pair in
       let supreme_with = List.length (List.filter (fun p -> pair_values p <> None) ctx.supreme) in
-      Printf.eprintf "[ba] pair coverage: %d/%d parties, %d supreme injectors\n%!" got n supreme_with
+      Log.debug (fun m ->
+          m "pair coverage: %d/%d parties, %d supreme injectors" got n supreme_with)
     end;
 
     (* --- Phase E: sign per virtual identity, send to leaf committees --- *)
@@ -351,7 +371,7 @@ module Make (S : Srds_intf.SCHEME) = struct
           agree_states;
     done;
 
-    if Lazy.force trace_enabled then begin
+    if trace_enabled () then begin
       (* diagnostic: how many supreme members hold a root signature, and
          how many base signatures it attests *)
       List.iter
@@ -360,9 +380,10 @@ module Make (S : Srds_intf.SCHEME) = struct
           | Some [ sig_bytes ] ->
             (match W.of_bytes sig_bytes with
             | Some sg ->
-              Printf.eprintf "[ba] root@%d count=%d (threshold %d)\n%!" p (S.count sg)
-                (S.threshold ctx.pp)
-            | None -> Printf.eprintf "[ba] root@%d undecodable\n%!" p)
+              Log.debug (fun m ->
+                  m "root@%d count=%d (threshold %d)" p (S.count sg)
+                    (S.threshold ctx.pp))
+            | None -> Log.debug (fun m -> m "root@%d undecodable" p))
           | _ -> ())
         ctx.supreme
     end;

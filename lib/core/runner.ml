@@ -6,6 +6,7 @@
 module Rng = Repro_util.Rng
 module Mathx = Repro_util.Mathx
 module Tablefmt = Repro_util.Tablefmt
+module Parallel = Repro_util.Parallel
 module Metrics = Repro_net.Metrics
 
 type protocol =
@@ -184,12 +185,26 @@ let run_under_attack ~strategy ~n ~beta ~seed : row =
 
 (* --- Table 1 (measured): all protocols at a fixed n --- *)
 
-let table1 ?(ns = [ 64; 128; 256 ]) ?(beta = 0.1) ?(seed = 1) () =
+(* Every (n, protocol) cell is an independent simulation seeded only by its
+   own parameters, so cells run concurrently on the domain pool; rows come
+   back in input order, making the rendered table identical for any pool
+   size. [chunk:1]: cells are few and coarse. *)
+let table1_rows ?(ns = [ 64; 128; 256 ]) ?(beta = 0.1) ?(seed = 1) () =
+  let cells =
+    List.concat_map (fun n -> List.map (fun p -> (n, p)) all_protocols) ns
+  in
+  Parallel.map_list ~chunk:1
+    (fun (n, protocol) -> run ~protocol ~n ~beta ~seed)
+    cells
+
+let table1_of_rows ?(beta = 0.1) rows =
+  let beta_v = beta in
   let t =
     Tablefmt.create
       ~title:
         (Printf.sprintf
-           "Table 1 (measured): almost-everywhere -> everywhere, beta=%.2f" beta)
+           "Table 1 (measured): almost-everywhere -> everywhere, beta=%.2f"
+           beta_v)
       ~headers:
         [ "protocol"; "n"; "rounds"; "max KiB/party"; "mean KiB"; "total MiB";
           "locality"; "ok"; "note" ]
@@ -197,25 +212,24 @@ let table1 ?(ns = [ 64; 128; 256 ]) ?(beta = 0.1) ?(seed = 1) () =
         [ Tablefmt.Left; Right; Right; Right; Right; Right; Right; Left; Left ]
   in
   List.iter
-    (fun n ->
-      List.iter
-        (fun protocol ->
-          let r = run ~protocol ~n ~beta ~seed in
-          Tablefmt.add_row t
-            [
-              r.r_protocol;
-              string_of_int r.r_n;
-              string_of_int r.r_rounds;
-              Tablefmt.fkib r.r_max_bytes;
-              Tablefmt.fkib (int_of_float r.r_mean_bytes);
-              Printf.sprintf "%.1f" (float_of_int r.r_total_bytes /. 1048576.);
-              string_of_int r.r_locality;
-              (if r.r_ok then "yes" else "NO");
-              r.r_note;
-            ])
-        all_protocols)
-    ns;
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.r_protocol;
+          string_of_int r.r_n;
+          string_of_int r.r_rounds;
+          Tablefmt.fkib r.r_max_bytes;
+          Tablefmt.fkib (int_of_float r.r_mean_bytes);
+          Printf.sprintf "%.1f" (float_of_int r.r_total_bytes /. 1048576.);
+          string_of_int r.r_locality;
+          (if r.r_ok then "yes" else "NO");
+          r.r_note;
+        ])
+    rows;
   t
+
+let table1 ?ns ?beta ?(seed = 1) () =
+  table1_of_rows ?beta (table1_rows ?ns ?beta ~seed ())
 
 (* --- scaling sweep: per-party communication vs n, with fitted growth
    exponents (the shape that distinguishes polylog / sqrt / linear) --- *)
@@ -229,7 +243,9 @@ type sweep_result = {
 }
 
 let sweep ~protocol ~ns ~beta ~seed =
-  let points = List.map (fun n -> (n, run ~protocol ~n ~beta ~seed)) ns in
+  let points =
+    Parallel.map_list ~chunk:1 (fun n -> (n, run ~protocol ~n ~beta ~seed)) ns
+  in
   let fit f =
     Mathx.loglog_slope
       (List.map (fun (n, r) -> (float_of_int n, f r)) points)
@@ -256,13 +272,37 @@ let sweep_table ?(ns = [ 64; 128; 256; 512 ]) ?(beta = 0.1) ?(seed = 1)
         :: List.map (fun _ -> Tablefmt.Right) ns
         @ [ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ])
   in
-  List.iter
-    (fun protocol ->
-      let s = sweep ~protocol ~ns ~beta ~seed in
+  (* One pool task per (protocol, n) cell: the outer per-protocol map would
+     otherwise serialize the inner sweep (nested fan-outs run sequentially),
+     wasting the pool on the long tail of the largest n. *)
+  let cells =
+    List.concat_map (fun p -> List.map (fun n -> (p, n)) ns) protocols
+  in
+  let rows =
+    Parallel.map_list ~chunk:1
+      (fun (protocol, n) -> (n, run ~protocol ~n ~beta ~seed))
+      cells
+  in
+  let rec take_rows protocols rows =
+    match protocols with
+    | [] -> ()
+    | protocol :: rest ->
+      let points, remaining =
+        let k = List.length ns in
+        (List.filteri (fun i _ -> i < k) rows,
+         List.filteri (fun i _ -> i >= k) rows)
+      in
+      let fit f =
+        Mathx.loglog_slope
+          (List.map (fun (n, r) -> (float_of_int n, f r)) points)
+      in
       Tablefmt.add_row t
-        (s.s_protocol
-        :: List.map (fun (_, r) -> Tablefmt.fkib r.r_max_bytes) s.s_points
-        @ [ Tablefmt.f2 s.s_slope_max; Tablefmt.f2 s.s_slope_mean;
-            Tablefmt.f2 s.s_slope_locality ]))
-    protocols;
+        (protocol_name protocol
+        :: List.map (fun (_, r) -> Tablefmt.fkib r.r_max_bytes) points
+        @ [ fit (fun r -> float_of_int r.r_max_bytes) |> Tablefmt.f2;
+            fit (fun r -> r.r_mean_bytes) |> Tablefmt.f2;
+            fit (fun r -> float_of_int r.r_locality) |> Tablefmt.f2 ]);
+      take_rows rest remaining
+  in
+  take_rows protocols rows;
   t

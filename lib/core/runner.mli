@@ -41,6 +41,17 @@ val run_under_attack :
   row
 (** E14: the full SNARK-instantiated protocol against that adversary. *)
 
+val table1_rows :
+  ?ns:int list -> ?beta:float -> ?seed:int -> unit -> row list
+(** The raw (n, protocol) cells behind {!table1}, in deterministic input
+    order (all protocols at the first n, then the next n, ...). Cells run
+    concurrently on the domain pool; results are bit-identical for any pool
+    size. *)
+
+val table1_of_rows : ?beta:float -> row list -> Repro_util.Tablefmt.t
+(** Render already-computed rows (lets callers reuse one computation for
+    both the printed table and machine-readable output). *)
+
 val table1 :
   ?ns:int list -> ?beta:float -> ?seed:int -> unit -> Repro_util.Tablefmt.t
 (** The measured Table 1: every protocol at each n. *)

@@ -22,6 +22,7 @@ module Params = Repro_aetree.Params
 
 module Make (S : Srds_intf.SCHEME) = struct
   module W = Srds_intf.Wire (S)
+  module B = Srds_intf.Batch (S)
 
   type ctx = {
     rng : Rng.t;
@@ -39,7 +40,9 @@ module Make (S : Srds_intf.SCHEME) = struct
   let prepare ~seed ~n ~t ~choose_corrupt ~replace_key =
     let rng = Rng.create seed in
     let pp, master = S.setup rng ~n in
-    let pairs = Array.init n (fun i -> S.keygen pp master rng ~index:i) in
+    (* Pool fan-out with per-index rng children: identical for any pool
+       size, and [rng]'s own stream is untouched for the steps below. *)
+    let pairs = B.keygen_all pp master rng ~count:n in
     let vks = Array.map fst pairs in
     let sks = Array.map snd pairs in
     let corrupt_list = choose_corrupt ~rng ~vks in

@@ -74,3 +74,22 @@ module Wire (S : SCHEME) = struct
   let of_bytes data = Repro_util.Encode.decode data S.decode_sig
   let size sg = Bytes.length (to_bytes sg)
 end
+
+(* Per-party fan-outs, run on the domain pool.
+
+   Determinism: party [i]'s key is always derived from the child stream
+   labelled "kg.<i>" of the caller's rng ([Rng.of_label] is a pure
+   derivation that does not advance the parent), so outputs are a function
+   of (rng, i) alone — bit-identical for any pool size and any scheduling
+   order. [sign_all] is deterministic given the secret keys already. *)
+module Batch (S : SCHEME) = struct
+  let keygen_all pp master rng ~count =
+    Repro_util.Parallel.init count (fun i ->
+        S.keygen pp master
+          (Repro_util.Rng.of_label rng ("kg." ^ string_of_int i))
+          ~index:i)
+
+  let sign_all pp sks ~msg =
+    Repro_util.Parallel.init (Array.length sks) (fun i ->
+        S.sign pp sks.(i) ~index:i ~msg)
+end

@@ -10,11 +10,55 @@
 let kappa_bytes = 16
 
 (* H(tag || len(tag) || data), truncated to kappa. *)
-let hash ~tag parts =
+let hash_uncached ~tag parts =
   let header = Bytes.of_string tag in
   let len = Bytes.make 1 (Char.chr (String.length tag land 0xFF)) in
   let full = Sha256.digest_list (len :: header :: parts) in
   Bytes.sub full 0 kappa_bytes
+
+(* Bounded digest cache for small inputs.
+
+   The WOTS chains and Merkle paths recompute the same kappa-sized hashes
+   many times per experiment (every committee member re-derives the same
+   leaf and node digests), so memoizing pays for itself quickly. Only
+   inputs up to [small_limit] bytes are cached: that covers chain steps and
+   two-child node hashes while keeping both key-building cost and memory
+   bounded. The table is domain-local, so parallel experiment cells never
+   contend; keys encode the full (tag, parts) content unambiguously, so a
+   hit is always the correct digest. *)
+let cache_limit = 1 lsl 16
+let small_limit = 192
+
+let cache : (string, bytes) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let clear_cache () = Hashtbl.reset (Domain.DLS.get cache)
+
+let hash ~tag parts =
+  let total = List.fold_left (fun acc p -> acc + Bytes.length p) 0 parts in
+  if total > small_limit then hash_uncached ~tag parts
+  else begin
+    (* Unambiguous key: length-prefixed tag, then length-prefixed parts
+       (every length fits one byte: tag lengths are small, parts are
+       bounded by [small_limit]). *)
+    let buf = Buffer.create (String.length tag + total + 8) in
+    Buffer.add_char buf (Char.chr (String.length tag land 0xFF));
+    Buffer.add_string buf tag;
+    List.iter
+      (fun p ->
+        Buffer.add_char buf (Char.chr (Bytes.length p));
+        Buffer.add_bytes buf p)
+      parts;
+    let key = Buffer.contents buf in
+    let c = Domain.DLS.get cache in
+    match Hashtbl.find_opt c key with
+    | Some d -> Bytes.copy d
+    | None ->
+      let d = hash_uncached ~tag parts in
+      if Hashtbl.length c >= cache_limit then Hashtbl.reset c;
+      Hashtbl.add c key d;
+      Bytes.copy d
+  end
 
 let hash_string ~tag s = hash ~tag [ Bytes.of_string s ]
 

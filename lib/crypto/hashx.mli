@@ -4,7 +4,13 @@
 val kappa_bytes : int
 
 val hash : tag:string -> bytes list -> bytes
-(** [hash ~tag parts] is a kappa-byte digest of the tagged concatenation. *)
+(** [hash ~tag parts] is a kappa-byte digest of the tagged concatenation.
+    Small inputs are memoized in a bounded domain-local cache (repeated
+    WOTS-chain and Merkle-node hashes dominate the experiment workload). *)
+
+val clear_cache : unit -> unit
+(** Drop this domain's digest cache (memory hygiene between experiments;
+    never needed for correctness). *)
 
 val hash_string : tag:string -> string -> bytes
 

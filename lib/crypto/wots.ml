@@ -95,15 +95,23 @@ let verify_uncached vk msg_digest (sg : signature) =
    re-verified by every committee member that handles it; verify is a pure
    function, so caching the (vk, digest, signature) -> bool result changes
    nothing observable while collapsing the simulated fleet's redundant work
-   onto one computation. Bounded by periodic reset. *)
-let cache : (string, bool) Hashtbl.t = Hashtbl.create 4096
+   onto one computation. Bounded by periodic reset.
+
+   The table is domain-local: concurrent experiment cells each memoize into
+   their own table, so there is no cross-domain mutation. Keys are full
+   cryptographic content, so a stale or cleared table can only cost a
+   recomputation, never a wrong answer. *)
+let cache : (string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
 let cache_limit = 1 lsl 18
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () = Hashtbl.reset (Domain.DLS.get cache)
 
 let verify vk msg_digest (sg : signature) =
   if Array.length sg <> num_chains then false
   else begin
+    let cache = Domain.DLS.get cache in
     let key =
       Bytes.to_string
         (Hashx.hash ~tag:"wots-vcache" (vk :: msg_digest :: Array.to_list sg))

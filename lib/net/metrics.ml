@@ -142,3 +142,11 @@ let pp_report ppf r =
     (r.mean_bytes /. 1024.)
     (float_of_int r.total_bytes /. 1024.)
     r.max_locality r.rounds
+
+(* Machine-readable form for BENCH_results.json and any external tooling:
+   a flat JSON object string, keys stable across versions. *)
+let report_to_json r =
+  Printf.sprintf
+    "{\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"total_bytes\":%d,\"max_msgs_sent\":%d,\"max_locality\":%d,\"mean_locality\":%.2f,\"rounds\":%d}"
+    r.max_bytes r.mean_bytes r.p50_bytes r.p95_bytes r.total_bytes
+    r.max_msgs_sent r.max_locality r.mean_locality r.rounds

@@ -42,3 +42,7 @@ val report : ?include_party:(int -> bool) -> t -> report
     whole network. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string
+(** The report as a flat JSON object (stable keys), for machine-readable
+    benchmark output. *)

@@ -1,0 +1,45 @@
+(** Fixed-size domain pool for data-parallel fan-outs.
+
+    The pool is built from stdlib [Domain] + [Mutex]/[Condition] only. Its
+    size defaults to the [REPRO_DOMAINS] environment variable when set, else
+    to [Domain.recommended_domain_count ()] capped at 8. With a pool size of
+    1 every operation degrades to a plain sequential loop — same code path a
+    caller would have written by hand, no domains spawned.
+
+    Determinism contract: all operations assign the result for input index
+    [i] to output index [i]; scheduling order never influences outputs.
+    Callers must keep their per-index closures independent (thread RNGs by
+    index, never by execution order) — then results are bit-identical for
+    any pool size.
+
+    Nested calls from inside a pool task run sequentially, so one level of
+    parallelism (the outermost) saturates the pool and inner fan-outs do not
+    deadlock waiting for workers that are busy with their ancestors. *)
+
+val domains : unit -> int
+(** Effective pool size (>= 1). Resolved lazily from [REPRO_DOMAINS] /
+    [Domain.recommended_domain_count ()] on first use. *)
+
+val set_domains : int -> unit
+(** Reconfigure the pool size (clamped to >= 1), shutting down any existing
+    worker domains first. Overrides [REPRO_DOMAINS]. Intended for tests and
+    benchmark drivers; not safe to call concurrently with running
+    operations. *)
+
+val map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f arr] is [Array.map f arr] with chunks of indices evaluated on the
+    pool. [chunk] bounds the number of consecutive indices per task (default:
+    spread over ~8 tasks per domain). [f] is applied exactly once per
+    element; the first exception raised (if any) is re-raised after all
+    chunks settle. *)
+
+val iter : ?chunk:int -> ('a -> unit) -> 'a array -> unit
+
+val init : ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [init n f] is [Array.init n f] evaluated on the pool. *)
+
+val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : unit -> unit
+(** Join all worker domains. Registered with [at_exit]; safe to call more
+    than once. The pool respawns lazily on next use. *)

@@ -125,6 +125,20 @@ let test_sweep_slopes_sane () =
     true
     (s_sqrt.Runner.s_slope_max > 0.3 && s_sqrt.Runner.s_slope_max < 0.75)
 
+let test_parallel_determinism () =
+  (* The rendered Table 1 must be byte-identical no matter how many domains
+     the pool runs (the RNG is threaded per cell / per party, never shared). *)
+  let module Parallel = Repro_util.Parallel in
+  let render () =
+    Repro_util.Tablefmt.render (Runner.table1 ~ns:[ 64 ] ~beta:0.1 ~seed:3 ())
+  in
+  Parallel.set_domains 1;
+  let sequential = render () in
+  Parallel.set_domains 4;
+  let parallel = render () in
+  Parallel.set_domains 1;
+  Alcotest.(check string) "1 domain = 4 domains" sequential parallel
+
 let suite =
   [
     Alcotest.test_case "virtual ids contiguity" `Quick test_virtual_ids_contiguity;
@@ -135,4 +149,5 @@ let suite =
     Alcotest.test_case "certificate shapes" `Slow test_certificate_growth_shapes;
     Alcotest.test_case "runner names" `Quick test_runner_protocol_names_roundtrip;
     Alcotest.test_case "sweep slopes" `Quick test_sweep_slopes_sane;
+    Alcotest.test_case "parallel determinism" `Quick test_parallel_determinism;
   ]

@@ -18,6 +18,20 @@ let test_sha_448 =
   check_sha "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
 
+let test_sha_896 =
+  (* Two-block message: exercises the multi-block compression path. *)
+  check_sha
+    "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+
+let test_sha_message_digest =
+  check_sha "message digest"
+    "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d393cb650"
+
+let test_sha_alphabet =
+  check_sha "abcdefghijklmnopqrstuvwxyz"
+    "71c480df93d6ae2f1efad1447c66c9525e316218cf51fc8d9ed832f2daf18b73"
+
 let test_sha_million () =
   Alcotest.(check string) "digest"
     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
@@ -211,6 +225,9 @@ let suite =
     Alcotest.test_case "sha256 empty" `Quick test_sha_empty;
     Alcotest.test_case "sha256 abc" `Quick test_sha_abc;
     Alcotest.test_case "sha256 448-bit" `Quick test_sha_448;
+    Alcotest.test_case "sha256 896-bit" `Quick test_sha_896;
+    Alcotest.test_case "sha256 message-digest" `Quick test_sha_message_digest;
+    Alcotest.test_case "sha256 alphabet" `Quick test_sha_alphabet;
     Alcotest.test_case "sha256 million-a" `Slow test_sha_million;
     Alcotest.test_case "sha256 streaming" `Quick test_sha_streaming;
     Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-smoke trace clean
 
 build:
 	dune build
@@ -16,6 +16,15 @@ bench-smoke: build
 	python3 -m json.tool BENCH_results.json > /dev/null && \
 	  echo "BENCH_results.json: valid JSON"
 
+# Record a Chrome trace of one small BA run and check it is well-formed
+# JSON with at least one complete ("X") event. Open trace.json in
+# https://ui.perfetto.dev to browse it.
+trace: build
+	./_build/default/bin/ba_sim.exe run --protocol owf -n 128 --trace-out trace.json
+	python3 -m json.tool trace.json > /dev/null
+	grep -q '"ph":"X"' trace.json && \
+	  echo "trace.json: valid Chrome trace ($$(grep -c '"ph":"X"' trace.json) events)"
+
 clean:
 	dune clean
-	rm -f BENCH_results.json
+	rm -f BENCH_results.json trace.json

@@ -34,8 +34,10 @@ let section title =
 (* ------------------------------------------------------------------ *)
 
 (* Collected as experiments run; written once at exit. Hand-rolled writer:
-   the repo deliberately has no JSON dependency. *)
-let experiment_times : (string * float) list ref = ref []
+   the repo deliberately has no JSON dependency. Each experiment carries its
+   wall time plus the crypto-operation counter snapshot accumulated while it
+   ran (the registry is reset between experiments). *)
+let experiment_times : (string * float * string) list ref = ref []
 let table1_json_rows : string list ref = ref []
 
 let json_escape s =
@@ -54,17 +56,18 @@ let json_escape s =
 
 let row_to_json (r : Runner.row) =
   Printf.sprintf
-    "{\"protocol\":\"%s\",\"n\":%d,\"beta\":%.3f,\"rounds\":%d,\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"total_bytes\":%d,\"locality\":%d,\"ok\":%b,\"note\":\"%s\"}"
+    "{\"protocol\":\"%s\",\"n\":%d,\"beta\":%.3f,\"rounds\":%d,\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"total_bytes\":%d,\"locality\":%d,\"ok\":%b,\"note\":\"%s\",\"tag_breakdown\":%s}"
     (json_escape r.Runner.r_protocol)
     r.Runner.r_n r.Runner.r_beta r.Runner.r_rounds r.Runner.r_max_bytes
     r.Runner.r_mean_bytes r.Runner.r_p50_bytes r.Runner.r_p95_bytes
     r.Runner.r_total_bytes r.Runner.r_locality r.Runner.r_ok
     (json_escape r.Runner.r_note)
+    (Metrics.breakdown_to_json r.Runner.r_breakdown)
 
 let write_results ~total_wall_s =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
@@ -73,10 +76,11 @@ let write_results ~total_wall_s =
   Buffer.add_string buf "  \"experiments\": [\n";
   let times = List.rev !experiment_times in
   List.iteri
-    (fun i (name, dt) ->
+    (fun i (name, dt, counters) ->
       Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.2f}%s\n"
-           (json_escape name) dt
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"wall_s\": %.2f, \"counters\": %s}%s\n"
+           (json_escape name) dt counters
            (if i = List.length times - 1 then "" else ",")))
     times;
   Buffer.add_string buf "  ],\n";
@@ -97,9 +101,14 @@ let write_results ~total_wall_s =
     (Parallel.domains ())
 
 let timed_experiment name f =
+  Repro_obs.Counters.reset ();
   let t0 = Unix.gettimeofday () in
   f ();
-  experiment_times := (name, Unix.gettimeofday () -. t0) :: !experiment_times
+  let dt = Unix.gettimeofday () -. t0 in
+  let counters =
+    Repro_obs.Counters.snapshot_to_json (Repro_obs.Counters.snapshot ())
+  in
+  experiment_times := (name, dt, counters) :: !experiment_times
 
 (* ------------------------------------------------------------------ *)
 (* T1/E1: Table 1, measured                                            *)
@@ -830,6 +839,11 @@ let bench_targeted_corruption () =
   print_endline "   committee; the row shows why that ordering matters)"
 
 let () =
+  (* The harness always meters crypto work: the per-experiment counter
+     objects in BENCH_results.json are what before/after perf comparisons
+     diff. (A few ns per op; the protocol wall times stay dominated by the
+     protocols themselves.) *)
+  Repro_obs.Counters.enable ();
   let t0 = Unix.gettimeofday () in
   print_endline "Reproduction benchmark harness:";
   print_endline

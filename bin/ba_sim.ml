@@ -45,8 +45,34 @@ let ns_arg =
 
 (* --- run --- *)
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the execution's spans \
+           (open in Perfetto or chrome://tracing); also prints an ASCII \
+           flame summary. Equivalent to setting REPRO_TRACE_FILE.")
+
+let counters_arg =
+  Arg.(
+    value & flag
+    & info [ "counters" ]
+        ~doc:
+          "Enable the crypto-operation counter registry and print the final \
+           counter table. Equivalent to setting REPRO_COUNTERS.")
+
+let breakdown_arg =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ]
+        ~doc:"Print the per-phase sent-bytes breakdown as a table.")
+
 let run_cmd =
-  let action protocol n beta seed =
+  let action protocol n beta seed trace_out counters breakdown =
+    if trace_out <> None then Repro_obs.Trace.set_output trace_out;
+    if counters then Repro_obs.Counters.enable ();
     let row = Runner.run ~protocol ~n ~beta ~seed in
     Printf.printf
       "%s n=%d beta=%.2f: rounds=%d max=%.1fKiB/party mean=%.1fKiB total=%.1fMiB \
@@ -55,11 +81,28 @@ let run_cmd =
       (float_of_int row.Runner.r_max_bytes /. 1024.)
       (row.Runner.r_mean_bytes /. 1024.)
       (float_of_int row.Runner.r_total_bytes /. 1048576.)
-      row.Runner.r_locality row.Runner.r_ok row.Runner.r_note
+      row.Runner.r_locality row.Runner.r_ok row.Runner.r_note;
+    if breakdown then begin
+      Printf.printf "per-phase sent bytes:\n";
+      Format.printf "%a%!" Repro_net.Metrics.pp_breakdown row.Runner.r_breakdown
+    end;
+    if counters then begin
+      Printf.printf "counters:\n";
+      Format.printf "%a%!" Repro_obs.Counters.pp_table
+        (Repro_obs.Counters.snapshot ())
+    end;
+    match trace_out with
+    | Some file ->
+      Repro_obs.Trace.flush ();
+      print_string (Repro_obs.Trace.summary ());
+      Printf.printf "trace written to %s\n" file
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one protocol execution.")
-    Term.(const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg)
+    Term.(
+      const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg $ trace_out_arg
+      $ counters_arg $ breakdown_arg)
 
 (* --- table1 --- *)
 

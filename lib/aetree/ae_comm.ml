@@ -112,6 +112,9 @@ let plurality values =
    injects (honest members inject the agreed value). Returns what each party
    adopted. Takes (height + 1) network rounds. *)
 let disseminate ?adversary net t ~label ~values =
+  Repro_obs.Trace.span ~cat:"aecomm" ~args:[ ("label", label) ]
+    ("aecomm:" ^ label)
+  @@ fun () ->
   let n = Network.n net in
   let tr = t.tree in
   let params = Tree.params tr in

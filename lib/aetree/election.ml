@@ -90,6 +90,7 @@ let majority = function
     Option.map (fun (k, _) -> Bytes.of_string k) !best
 
 let run ?adversary net params ~rng =
+  Repro_obs.Trace.span ~cat:"elect" "election.run" @@ fun () ->
   let n = Network.n net in
   let depth = levels_of params n in
   let party_rng = Array.init n (fun p -> Repro_util.Rng.of_label rng (Printf.sprintf "party-%d" p)) in

@@ -52,10 +52,11 @@ module Make (S : Srds_intf.SCHEME) = struct
      {!Committee.t} to be driven by the engine; its output payload is the
      node signature (possibly [Bytes.empty] when nothing aggregated). *)
   let instance ~pp ~vks ~tree ~level ~idx ~members ~me ~msg ~raw =
-    let sigs = List.filter_map W.of_bytes raw in
-    let checked = List.filter (range_ok tree ~level ~idx) sigs in
-    let filtered = S.aggregate1 pp ~vks ~msg checked in
     let candidate =
+      Repro_obs.Trace.span ~cat:"srds" "srds.aggregate" @@ fun () ->
+      let sigs = List.filter_map W.of_bytes raw in
+      let checked = List.filter (range_ok tree ~level ~idx) sigs in
+      let filtered = S.aggregate1 pp ~vks ~msg checked in
       match S.aggregate2 pp ~msg filtered with
       | Some sg -> W.to_bytes sg
       | None -> Bytes.empty

@@ -81,7 +81,12 @@ let () =
 
 let trace_enabled () = Logs.Src.level src = Some Logs.Debug
 
+(* Each protocol phase is a [Repro_obs.Trace] span (category "ba"), so phase
+   structure lands in the exported Chrome trace; the legacy REPRO_TRACE
+   behavior — one debug log line with the phase wall time — rides on top of
+   the same measurement when the Logs source is at Debug. *)
 let timed name f =
+  Repro_obs.Trace.span ~cat:"ba" name @@ fun () ->
   if trace_enabled () then begin
     let t0 = Unix.gettimeofday () in
     let r = f () in

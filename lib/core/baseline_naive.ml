@@ -21,6 +21,7 @@ type result = {
   agreed : bool;
   correct_fraction : float;
   report : Metrics.report;
+  breakdown : (string * int) list; (* sent bytes per tag group *)
 }
 
 let run (cfg : config) : result =
@@ -66,4 +67,5 @@ let run (cfg : config) : result =
     agreed;
     correct_fraction = float_of_int correct /. float_of_int (max 1 (List.length honest_list));
     report = Metrics.report ~include_party:honest (Network.metrics net);
+    breakdown = Metrics.tag_breakdown (Network.metrics net);
   }

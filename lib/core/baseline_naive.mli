@@ -14,6 +14,7 @@ type result = {
   agreed : bool;
   correct_fraction : float;
   report : Repro_net.Metrics.report;
+  breakdown : (string * int) list;  (** sent bytes per tag group *)
 }
 
 val run : config -> result

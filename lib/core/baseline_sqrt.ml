@@ -28,6 +28,7 @@ type result = {
   agreed : bool;
   correct_fraction : float; (* honest parties outputting the value *)
   report : Metrics.report;
+  breakdown : (string * int) list; (* sent bytes per tag group *)
 }
 
 let group_size n = max 1 (Repro_util.Mathx.isqrt n)
@@ -103,4 +104,5 @@ let run (cfg : config) : result =
     agreed;
     correct_fraction = float_of_int correct /. float_of_int (max 1 (List.length honest_list));
     report = Metrics.report ~include_party:honest (Network.metrics net);
+    breakdown = Metrics.tag_breakdown (Network.metrics net);
   }

@@ -47,6 +47,7 @@ type row = {
   r_locality : int;
   r_ok : bool; (* protocol-specific success: agreement/validity held *)
   r_note : string;
+  r_breakdown : (string * int) list; (* sent bytes per tag group *)
 }
 
 module Ba_owf = Balanced_ba.Make (Srds_owf)
@@ -86,6 +87,7 @@ let run_full_ba name run_fn ~n ~beta ~seed : row =
     r_note =
       Printf.sprintf "decided=%.2f%s" r.Balanced_ba.decided_fraction
         (if r.Balanced_ba.tree_good then "" else " tree-degraded");
+    r_breakdown = r.Balanced_ba.breakdown;
   }
 
 let run ~protocol ~n ~beta ~seed : row =
@@ -114,6 +116,7 @@ let run ~protocol ~n ~beta ~seed : row =
       r_locality = r.Baseline_sqrt.report.Metrics.max_locality;
       r_ok = r.Baseline_sqrt.agreed && r.Baseline_sqrt.correct_fraction > 0.99;
       r_note = Printf.sprintf "correct=%.2f" r.Baseline_sqrt.correct_fraction;
+      r_breakdown = r.Baseline_sqrt.breakdown;
     }
   | Naive_boost ->
     let rng = Rng.create seed in
@@ -133,6 +136,7 @@ let run ~protocol ~n ~beta ~seed : row =
       r_locality = r.Baseline_naive.report.Metrics.max_locality;
       r_ok = r.Baseline_naive.agreed && r.Baseline_naive.correct_fraction > 0.99;
       r_note = Printf.sprintf "correct=%.2f" r.Baseline_naive.correct_fraction;
+      r_breakdown = r.Baseline_naive.breakdown;
     }
 
 (* --- E14: the full protocol under setup-aware corruption ---
@@ -181,6 +185,7 @@ let run_under_attack ~strategy ~n ~beta ~seed : row =
     r_note =
       Printf.sprintf "decided=%.2f%s" r.Balanced_ba.decided_fraction
         (if r.Balanced_ba.tree_good then "" else " tree-degraded");
+    r_breakdown = r.Balanced_ba.breakdown;
   }
 
 (* --- Table 1 (measured): all protocols at a fixed n --- *)

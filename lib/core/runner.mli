@@ -26,6 +26,7 @@ type row = {
   r_locality : int;
   r_ok : bool;  (** agreement/validity held *)
   r_note : string;
+  r_breakdown : (string * int) list;  (** sent bytes per tag group *)
 }
 
 val run : protocol:protocol -> n:int -> beta:float -> seed:int -> row

@@ -84,12 +84,19 @@ end
    order. [sign_all] is deterministic given the secret keys already. *)
 module Batch (S : SCHEME) = struct
   let keygen_all pp master rng ~count =
+    Repro_obs.Trace.span ~cat:"srds"
+      ~args:[ ("scheme", S.name); ("count", string_of_int count) ]
+      "srds.keygen_all"
+    @@ fun () ->
     Repro_util.Parallel.init count (fun i ->
         S.keygen pp master
           (Repro_util.Rng.of_label rng ("kg." ^ string_of_int i))
           ~index:i)
 
   let sign_all pp sks ~msg =
+    Repro_obs.Trace.span ~cat:"srds" ~args:[ ("scheme", S.name) ]
+      "srds.sign_all"
+    @@ fun () ->
     Repro_util.Parallel.init (Array.length sks) (fun i ->
         S.sign pp sks.(i) ~index:i ~msg)
 end

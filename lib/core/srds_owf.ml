@@ -28,6 +28,11 @@ module Hashx = Repro_crypto.Hashx
 let name = "srds-owf"
 let pki = `Trusted
 
+let c_keygen = Repro_obs.Counters.make (name ^ ".keygen")
+let c_sign = Repro_obs.Counters.make (name ^ ".sign")
+let c_verify = Repro_obs.Counters.make (name ^ ".verify")
+let c_aggregate = Repro_obs.Counters.make (name ^ ".aggregate")
+
 type pp = {
   n : int;
   expected : int; (* expected number of sortition-selected signers *)
@@ -60,6 +65,7 @@ let setup rng ~n =
   (pp, { sortition = Sortition.create ~key ~n ~expected })
 
 let keygen pp master rng ~index =
+  Repro_obs.Counters.bump c_keygen;
   if Sortition.is_signer master.sortition index then begin
     let seed =
       Hashx.hash ~tag:"srds-owf-seed" [ pp.pp_id; Rng.bytes rng 32 ]
@@ -72,6 +78,7 @@ let keygen pp master rng ~index =
 let msg_digest pp msg = Hashx.hash ~tag:"srds-owf-msg" [ pp.pp_id; msg ]
 
 let sign pp sk ~index ~msg =
+  Repro_obs.Counters.bump c_sign;
   match sk with
   | Oblivious -> None
   | Signer wsk ->
@@ -104,6 +111,7 @@ let verify_partial pp ~vks ~msg sg =
    duplicates across signatures (first occurrence wins after sorting
    inputs by their lo index, which is deterministic). *)
 let aggregate1 pp ~vks ~msg sigs =
+  Repro_obs.Counters.bump c_aggregate;
   let valid = List.filter (verify_partial pp ~vks ~msg) sigs in
   let sorted = List.sort (fun a b -> compare (a.lo, a.hi) (b.lo, b.hi)) valid in
   let seen = Hashtbl.create 64 in
@@ -138,6 +146,7 @@ let threshold pp = (pp.expected / 2) + 1
 let count sg = List.length sg.entries
 
 let verify pp ~vks ~msg sg =
+  Repro_obs.Counters.bump c_verify;
   verify_partial pp ~vks ~msg sg && count sg >= threshold pp
 
 let min_index sg = sg.lo

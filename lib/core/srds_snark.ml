@@ -31,6 +31,11 @@ module Pcd = Repro_snark.Pcd
 let name = "srds-snark"
 let pki = `Bare
 
+let c_keygen = Repro_obs.Counters.make (name ^ ".keygen")
+let c_sign = Repro_obs.Counters.make (name ^ ".sign")
+let c_verify = Repro_obs.Counters.make (name ^ ".verify")
+let c_aggregate = Repro_obs.Counters.make (name ^ ".aggregate")
+
 type pp = {
   n : int;
   crs : Snark.crs;
@@ -72,6 +77,7 @@ let setup_with ~strict_ranges rng ~n =
 let setup rng ~n = setup_with ~strict_ranges:true rng ~n
 
 let keygen pp _master rng ~index:_ =
+  Repro_obs.Counters.bump c_keygen;
   let seed = Hashx.hash ~tag:"srds-snark-seed" [ pp.pp_id; Rng.bytes rng 32 ] in
   Wots.keygen seed
 
@@ -212,6 +218,7 @@ let pcd pp ~vks =
 (* --- scheme operations --- *)
 
 let sign pp sk ~index ~msg =
+  Repro_obs.Counters.bump c_sign;
   ignore index;
   Some (Base { b_index = index; b_sig = Wots.sign sk (msg_digest pp msg) })
 
@@ -279,6 +286,7 @@ let promote pp ~vks ~msg (b_index, b_sig) =
    ranges would make the PCD step non-compliant, and overlap is exactly the
    duplicate-replay attack being filtered out). *)
 let aggregate1 pp ~vks ~msg sigs =
+  Repro_obs.Counters.bump c_aggregate;
   let valid = List.filter (verify_partial pp ~vks ~msg) sigs in
   let promoted =
     List.filter_map
@@ -358,6 +366,7 @@ let aggregate2 pp ~msg sigs =
 let threshold pp = (pp.n / 2) + 1
 
 let verify pp ~vks ~msg sg =
+  Repro_obs.Counters.bump c_verify;
   verify_partial pp ~vks ~msg sg && count sg >= threshold pp
 
 let encode_sig b = function

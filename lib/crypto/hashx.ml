@@ -34,7 +34,13 @@ let cache : (string, bytes) Hashtbl.t Domain.DLS.key =
 
 let clear_cache () = Hashtbl.reset (Domain.DLS.get cache)
 
+let c_hash = Repro_obs.Counters.make "hashx.hash"
+(* Hit/miss depend on which domain's table served the call. *)
+let c_hit = Repro_obs.Counters.make ~deterministic:false "hashx.cache_hit"
+let c_miss = Repro_obs.Counters.make ~deterministic:false "hashx.cache_miss"
+
 let hash ~tag parts =
+  Repro_obs.Counters.bump c_hash;
   let total = List.fold_left (fun acc p -> acc + Bytes.length p) 0 parts in
   if total > small_limit then hash_uncached ~tag parts
   else begin
@@ -52,8 +58,11 @@ let hash ~tag parts =
     let key = Buffer.contents buf in
     let c = Domain.DLS.get cache in
     match Hashtbl.find_opt c key with
-    | Some d -> Bytes.copy d
+    | Some d ->
+      Repro_obs.Counters.bump c_hit;
+      Bytes.copy d
     | None ->
+      Repro_obs.Counters.bump c_miss;
       let d = hash_uncached ~tag parts in
       if Hashtbl.length c >= cache_limit then Hashtbl.reset c;
       Hashtbl.add c key d;

@@ -9,8 +9,16 @@ type tree = {
   levels : bytes array array; (* levels.(0) = hashed leaves, last = [|root|] *)
 }
 
-let hash_leaf data = Hashx.hash ~tag:"merkle-leaf" [ data ]
-let hash_node l r = Hashx.hash ~tag:"merkle-node" [ l; r ]
+let c_leaf = Repro_obs.Counters.make "merkle.leaf"
+let c_node = Repro_obs.Counters.make "merkle.node"
+
+let hash_leaf data =
+  Repro_obs.Counters.bump c_leaf;
+  Hashx.hash ~tag:"merkle-leaf" [ data ]
+
+let hash_node l r =
+  Repro_obs.Counters.bump c_node;
+  Hashx.hash ~tag:"merkle-node" [ l; r ]
 
 let build data_leaves =
   if Array.length data_leaves = 0 then invalid_arg "Merkle.build: empty";

@@ -180,9 +180,15 @@ let rec rounds hh w i a b c d e f g h =
     rounds hh w (i + 8) a8 a7 a6 a5 e8 e7 e6 e5
   end
 
+(* Physical compression-function invocations. Not pool-size independent:
+   the digest caches above this module (Hashx, Wots) are domain-local, so
+   how many hashes reach the compression loop depends on scheduling. *)
+let c_compress = Repro_obs.Counters.make ~deterministic:false "sha256.compress"
+
 (* Compress one 64-byte block read from [b] at [off]; bounds are the
    caller's obligation ([feed] only passes complete in-range blocks). *)
 let compress ctx b off =
+  Repro_obs.Counters.bump c_compress;
   let w = ctx.w in
   for i = 0 to 15 do
     let o = off + (i * 4) in

@@ -70,7 +70,13 @@ let keygen seed =
 let keygen_oblivious rng : verification_key =
   Repro_util.Rng.bytes rng Hashx.kappa_bytes
 
+let c_sign = Repro_obs.Counters.make "wots.sign"
+let c_verify = Repro_obs.Counters.make "wots.verify"
+let c_hit = Repro_obs.Counters.make ~deterministic:false "wots.cache_hit"
+let c_miss = Repro_obs.Counters.make ~deterministic:false "wots.cache_miss"
+
 let sign sk msg_digest : signature =
+  Repro_obs.Counters.bump c_sign;
   if Bytes.length msg_digest <> Hashx.kappa_bytes then
     invalid_arg "Wots.sign: digest size";
   let chunks = chunks_of_digest msg_digest in
@@ -109,6 +115,7 @@ let cache_limit = 1 lsl 18
 let clear_cache () = Hashtbl.reset (Domain.DLS.get cache)
 
 let verify vk msg_digest (sg : signature) =
+  Repro_obs.Counters.bump c_verify;
   if Array.length sg <> num_chains then false
   else begin
     let cache = Domain.DLS.get cache in
@@ -117,8 +124,11 @@ let verify vk msg_digest (sg : signature) =
         (Hashx.hash ~tag:"wots-vcache" (vk :: msg_digest :: Array.to_list sg))
     in
     match Hashtbl.find_opt cache key with
-    | Some r -> r
+    | Some r ->
+      Repro_obs.Counters.bump c_hit;
+      r
     | None ->
+      Repro_obs.Counters.bump c_miss;
       let r = verify_uncached vk msg_digest sg in
       if Hashtbl.length cache > cache_limit then Hashtbl.reset cache;
       Hashtbl.add cache key r;

@@ -21,6 +21,9 @@ type machine = {
 
 let instance_tag tag inst = tag ^ "/" ^ inst
 
+(* Messages handed to an instance's [m_recv] across all engine executions. *)
+let c_msgs = Repro_obs.Counters.make "engine.msgs"
+
 let split_tag ~tag full =
   let prefix = tag ^ "/" in
   let pl = String.length prefix in
@@ -61,10 +64,12 @@ let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
           match split_tag ~tag m.tag with
           | None -> () (* other phase's leftovers: ignore *)
           | Some inst ->
-            if Hashtbl.mem tbl inst then
+            if Hashtbl.mem tbl inst then begin
+              Repro_obs.Counters.bump c_msgs;
               Hashtbl.replace by_inst inst
                 ((m.src, m.payload)
-                :: (try Hashtbl.find by_inst inst with Not_found -> [])))
+                :: (try Hashtbl.find by_inst inst with Not_found -> []))
+            end)
         inbox;
       Hashtbl.iter
         (fun inst msgs ->
@@ -90,4 +95,5 @@ let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
     Array.init n (fun p ->
         if Network.is_honest net p then Some (handler p) else None)
   in
-  Network.run net ?adversary ~rounds:(rounds + 1) handlers
+  Repro_obs.Trace.span ~cat:"engine" ("engine:" ^ tag) (fun () ->
+      Network.run net ?adversary ~rounds:(rounds + 1) handlers)

@@ -89,6 +89,7 @@ let rounds t = t.rounds
 let party_bytes t i = t.stats.(i).bytes_sent + t.stats.(i).bytes_recv
 let party_bytes_sent t i = t.stats.(i).bytes_sent
 let party_msgs_sent t i = t.stats.(i).msgs_sent
+let party_msgs_recv t i = t.stats.(i).msgs_recv
 
 let party_locality t i =
   IntSet.cardinal (IntSet.union t.stats.(i).peers_sent t.stats.(i).peers_recv)
@@ -111,6 +112,21 @@ let report ?(include_party = fun _ -> true) t =
   let parties =
     List.filter include_party (List.init t.n (fun i -> i))
   in
+  if parties = [] then
+    (* Empty selection (e.g. every party corrupt): per-party aggregates are
+       all zero by definition; only the network-wide figures survive. *)
+    {
+      max_bytes = 0;
+      mean_bytes = 0.;
+      p50_bytes = 0.;
+      p95_bytes = 0.;
+      total_bytes = Array.fold_left (fun acc s -> acc + s.bytes_sent) 0 t.stats;
+      max_msgs_sent = 0;
+      max_locality = 0;
+      mean_locality = 0.;
+      rounds = t.rounds;
+    }
+  else
   let bytes = List.map (party_bytes t) parties in
   let locs = List.map (party_locality t) parties in
   let total =
@@ -134,6 +150,31 @@ let report ?(include_party = fun _ -> true) t =
 let tag_breakdown t =
   Hashtbl.fold (fun g b acc -> (g, b) :: acc) t.by_tag []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* A breakdown as a flat JSON object. Keys are re-sorted by name so the
+   rendering is a stable function of the content, not of insertion order. *)
+let breakdown_to_json bd =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.sort (fun (a, _) (b, _) -> compare a b) bd
+  |> List.iteri (fun i (g, b) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_string buf (Printf.sprintf "\"%s\":%d" g b));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp_breakdown ppf bd =
+  let width =
+    List.fold_left (fun acc (g, _) -> max acc (String.length g)) 10 bd
+  in
+  let total = List.fold_left (fun acc (_, b) -> acc + b) 0 bd in
+  Format.fprintf ppf "  %-*s %12s %7s@." width "phase" "bytes" "share";
+  List.iter
+    (fun (g, b) ->
+      Format.fprintf ppf "  %-*s %12d %6.1f%%@." width g b
+        (100. *. float_of_int b /. float_of_int (max 1 total)))
+    bd;
+  Format.fprintf ppf "  %-*s %12d@." width "total" total
 
 let pp_report ppf r =
   Format.fprintf ppf

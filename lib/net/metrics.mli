@@ -15,6 +15,9 @@ val party_bytes : t -> int -> int
 val party_bytes_sent : t -> int -> int
 val party_msgs_sent : t -> int -> int
 
+val party_msgs_recv : t -> int -> int
+(** Messages delivered to one party. *)
+
 val party_locality : t -> int -> int
 (** Number of distinct peers the party exchanged messages with. *)
 
@@ -23,6 +26,12 @@ val tag_group : string -> string
 
 val tag_breakdown : t -> (string * int) list
 (** Total sent bytes per tag group, largest first. *)
+
+val breakdown_to_json : (string * int) list -> string
+(** A breakdown as a flat JSON object, keys sorted by name. *)
+
+val pp_breakdown : Format.formatter -> (string * int) list -> unit
+(** Table rendering of a breakdown with per-phase share and total. *)
 
 type report = {
   max_bytes : int;
@@ -39,7 +48,9 @@ type report = {
 val report : ?include_party:(int -> bool) -> t -> report
 (** Aggregate over the parties selected by [include_party] (default: all);
     callers normally pass the honest set. [total_bytes] always covers the
-    whole network. *)
+    whole network. An empty selection yields zero per-party aggregates
+    (never NaN); [total_bytes] and [rounds] keep their network-wide
+    values. *)
 
 val pp_report : Format.formatter -> report -> unit
 

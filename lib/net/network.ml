@@ -59,11 +59,14 @@ let is_honest t i = not t.corrupt.(i)
 let honest_parties t = List.filter (is_honest t) (List.init t.n (fun i -> i))
 let corrupt_parties t = List.filter (is_corrupt t) (List.init t.n (fun i -> i))
 
+let h_msg_bytes = Repro_obs.Counters.histogram "net.msg_bytes"
+
 let send t ~src:s ~dst ~tag payload =
   if s < 0 || s >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: party index out of range";
   let m = { Wire.src = s; dst; tag; payload } in
   Metrics.note_send t.metrics m;
+  Repro_obs.Counters.observe h_msg_bytes (Bytes.length payload);
   t.staged <- m :: t.staged
 
 let send_many t ~src ~dsts ~tag payload =
@@ -88,6 +91,7 @@ let deliver t =
   t.staged <- []
 
 let step t ?(adversary = null_adversary) handlers =
+  Repro_obs.Trace.span ~cat:"net" "net.round" @@ fun () ->
   Metrics.note_round t.metrics;
   Array.iteri
     (fun i h ->

@@ -1,0 +1,247 @@
+(* Span recording and Chrome trace-event export. See trace.mli.
+
+   Hot path: [span] with tracing disabled is one atomic load and a branch.
+   When enabled, each domain appends to its own buffer (Domain.DLS), so pool
+   workers never contend; buffers register themselves in a global list on
+   first use and are merged by [events]/[flush]. *)
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_ts : float;
+  e_dur : float;
+  e_tid : int;
+  e_path : string list;
+  e_args : (string * string) list;
+}
+
+(* Per-domain buffer: recorded events plus the stack of open span names
+   (outermost last), used to stamp each event with its nesting path. *)
+type dbuf = {
+  mutable evs : event list;
+  mutable n : int;
+  mutable stack : string list;
+  mutable dropped : int;
+}
+
+let max_events_per_domain = 1 lsl 20
+
+let reg_mutex = Mutex.create ()
+let buffers : dbuf list ref = ref []
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { evs = []; n = 0; stack = []; dropped = 0 } in
+      Mutex.lock reg_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock reg_mutex;
+      b)
+
+let out_file = ref (Sys.getenv_opt "REPRO_TRACE_FILE")
+let enabled = Atomic.make (!out_file <> None)
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let set_output o =
+  out_file := o;
+  if o <> None then Atomic.set enabled true
+
+let output () = !out_file
+
+(* Trace epoch: timestamps are microseconds since module load, keeping them
+   small enough to render exactly as JSON numbers. *)
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let record b ev =
+  if b.n < max_events_per_domain then begin
+    b.evs <- ev :: b.evs;
+    b.n <- b.n + 1
+  end
+  else b.dropped <- b.dropped + 1
+
+let span ?(cat = "repro") ?(args = []) name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let b = Domain.DLS.get dls_key in
+    b.stack <- name :: b.stack;
+    let t0 = now_us () in
+    let finish () =
+      let t1 = now_us () in
+      (match b.stack with _ :: tl -> b.stack <- tl | [] -> ());
+      record b
+        {
+          e_name = name;
+          e_cat = cat;
+          e_ts = t0;
+          e_dur = t1 -. t0;
+          e_tid = (Domain.self () :> int);
+          e_path = List.rev b.stack @ [ name ];
+          e_args = args;
+        }
+    in
+    match f () with
+    | x ->
+      finish ();
+      x
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+let mark ?(cat = "repro") ?(args = []) name =
+  if Atomic.get enabled then begin
+    let b = Domain.DLS.get dls_key in
+    record b
+      {
+        e_name = name;
+        e_cat = cat;
+        e_ts = now_us ();
+        e_dur = 0.;
+        e_tid = (Domain.self () :> int);
+        e_path = List.rev b.stack @ [ name ];
+        e_args = args;
+      }
+  end
+
+let events () =
+  Mutex.lock reg_mutex;
+  let bs = !buffers in
+  Mutex.unlock reg_mutex;
+  List.concat_map (fun b -> b.evs) bs
+  |> List.sort (fun a b -> compare (a.e_ts, a.e_tid) (b.e_ts, b.e_tid))
+
+let dropped () =
+  Mutex.lock reg_mutex;
+  let bs = !buffers in
+  Mutex.unlock reg_mutex;
+  List.fold_left (fun acc b -> acc + b.dropped) 0 bs
+
+let reset () =
+  Mutex.lock reg_mutex;
+  let bs = !buffers in
+  Mutex.unlock reg_mutex;
+  List.iter
+    (fun b ->
+      b.evs <- [];
+      b.n <- 0;
+      b.dropped <- 0)
+    bs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json evs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+           (json_escape ev.e_name) (json_escape ev.e_cat) ev.e_ts ev.e_dur
+           ev.e_tid);
+      if ev.e_args <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          ev.e_args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let flush () =
+  match !out_file with
+  | None -> ()
+  | Some file ->
+    let evs = events () in
+    if evs <> [] then begin
+      let oc = open_out file in
+      output_string oc (to_chrome_json evs);
+      close_out oc
+    end
+
+let () = at_exit flush
+
+(* ASCII flame summary: aggregate events by nesting path, render as an
+   indented tree sorted by total time within each level. *)
+let summary () =
+  let tbl : (string list, int * float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let count, total =
+        Option.value (Hashtbl.find_opt tbl ev.e_path) ~default:(0, 0.)
+      in
+      Hashtbl.replace tbl ev.e_path (count + 1, total +. ev.e_dur))
+    (events ());
+  (* Subtree weight of every path prefix, so siblings sort heaviest-first
+     and children stay grouped under their parent. *)
+  let weight : (string list, float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun path (_, total) ->
+      let rec prefixes acc = function
+        | [] -> ()
+        | x :: rest ->
+          let p = acc @ [ x ] in
+          Hashtbl.replace weight p
+            (total +. Option.value (Hashtbl.find_opt weight p) ~default:0.);
+          prefixes p rest
+      in
+      prefixes [] path)
+    tbl;
+  let w p = Option.value (Hashtbl.find_opt weight p) ~default:0. in
+  let rows =
+    Hashtbl.fold (fun path v acc -> (path, v) :: acc) tbl []
+    |> List.sort (fun (pa, _) (pb, _) ->
+           let rec cmp acc a b =
+             match (a, b) with
+             | [], [] -> 0
+             | [], _ -> -1 (* parent row before its children *)
+             | _, [] -> 1
+             | x :: xs, y :: ys ->
+               if x = y then cmp (acc @ [ x ]) xs ys
+               else
+                 let c = compare (w (acc @ [ y ])) (w (acc @ [ x ])) in
+                 if c <> 0 then c else compare x y
+           in
+           cmp [] pa pb)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "span summary (count, total wall time):\n";
+  List.iter
+    (fun (path, (count, total_us)) ->
+      let depth = List.length path - 1 in
+      let name = List.nth path depth in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %6dx %10.3f ms\n"
+           (String.make (2 * depth) ' ')
+           (max 1 (40 - (2 * depth)))
+           name count (total_us /. 1e3)))
+    rows;
+  if dropped () > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d events dropped: per-domain buffer cap hit)\n"
+         (dropped ()));
+  Buffer.contents buf

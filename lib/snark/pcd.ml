@@ -34,13 +34,19 @@ let create crs ~tag ~predicate =
   in
   { crs; predicate; relation }
 
-let verify t ~msg proof = Snark.verify t.crs t.relation ~statement:msg proof
+let c_prove = Repro_obs.Counters.make "pcd.prove"
+let c_verify = Repro_obs.Counters.make "pcd.verify"
+
+let verify t ~msg proof =
+  Repro_obs.Counters.bump c_verify;
+  Snark.verify t.crs t.relation ~statement:msg proof
 
 (* Emit a proof for [msg]: all input proofs must verify and the compliance
    predicate must hold. Returns None otherwise — an honest node cannot
    vouch for a non-compliant step, and (by the SNARK oracle) neither can a
    corrupt one. *)
 let prove t ~msg ~local ~inputs =
+  Repro_obs.Counters.bump c_prove;
   let inputs_ok =
     List.for_all (fun (m, p) -> verify t ~msg:m p) inputs
   in

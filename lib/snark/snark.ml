@@ -46,11 +46,16 @@ let tag_of crs rel statement =
   in
   Bytes.sub full 0 proof_size
 
+let c_prove = Repro_obs.Counters.make "snark.prove"
+let c_verify = Repro_obs.Counters.make "snark.verify"
+
 let prove crs rel ~statement ~witness =
+  Repro_obs.Counters.bump c_prove;
   if rel.holds ~statement ~witness then Some (tag_of crs rel statement)
   else None
 
 let verify crs rel ~statement proof =
+  Repro_obs.Counters.bump c_verify;
   Bytes.length proof = proof_size && Bytes.equal proof (tag_of crs rel statement)
 
 (* For experiments that need a "forged" proof attempt: a plausible-looking

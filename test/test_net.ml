@@ -218,6 +218,63 @@ let test_tag_breakdown_accumulates () =
   in
   Alcotest.(check bool) "sorted" true (desc bd)
 
+let test_report_empty_selection () =
+  (* Selecting no parties (e.g. everyone corrupt) must yield zeros, never
+     NaN, while the network-wide figures survive. *)
+  let net = Network.create ~n:3 ~corrupt:[] in
+  let handler p ~round ~inbox =
+    ignore inbox;
+    if round = 0 && p = 0 then
+      Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.make 5 'x')
+  in
+  Network.run net ~rounds:2 (Array.init 3 (fun p -> Some (handler p)));
+  let r = Metrics.report ~include_party:(fun _ -> false) (Network.metrics net) in
+  Alcotest.(check int) "max bytes zero" 0 r.Metrics.max_bytes;
+  Alcotest.(check (float 0.)) "mean zero, not NaN" 0. r.Metrics.mean_bytes;
+  Alcotest.(check (float 0.)) "p50 zero, not NaN" 0. r.Metrics.p50_bytes;
+  Alcotest.(check int) "total still network-wide" 10 r.Metrics.total_bytes;
+  Alcotest.(check int) "rounds survive" 2 r.Metrics.rounds
+
+let test_report_json_keys_stable () =
+  (* External tooling keys off these field names; lock them down. *)
+  let net = Network.create ~n:2 ~corrupt:[] in
+  Network.run net ~rounds:1 (Array.init 2 (fun _ -> Some (fun ~round:_ ~inbox:_ -> ())));
+  let json = Metrics.report_to_json (Metrics.report (Network.metrics net)) in
+  List.iter
+    (fun key ->
+      let needle = "\"" ^ key ^ "\":" in
+      let contains =
+        let nl = String.length needle and hl = String.length json in
+        let rec go i =
+          i + nl <= hl && (String.sub json i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("key " ^ key) true contains)
+    [
+      "max_bytes"; "mean_bytes"; "p50_bytes"; "p95_bytes"; "total_bytes";
+      "max_msgs_sent"; "max_locality"; "mean_locality"; "rounds";
+    ]
+
+let test_breakdown_json_sorted () =
+  let json = Metrics.breakdown_to_json [ ("b", 2); ("a", 1) ] in
+  Alcotest.(check string) "keys sorted by name" "{\"a\":1,\"b\":2}" json;
+  Alcotest.(check string) "empty breakdown" "{}" (Metrics.breakdown_to_json [])
+
+let test_msgs_recv_counted () =
+  let net = Network.create ~n:2 ~corrupt:[] in
+  let handler p ~round ~inbox =
+    ignore inbox;
+    if round = 0 && p = 0 then begin
+      Network.send net ~src:0 ~dst:1 ~tag:"t" Bytes.empty;
+      Network.send net ~src:0 ~dst:1 ~tag:"t" Bytes.empty
+    end
+  in
+  Network.run net ~rounds:2 (Array.init 2 (fun p -> Some (handler p)));
+  let m = Network.metrics net in
+  Alcotest.(check int) "receiver msg count" 2 (Metrics.party_msgs_recv m 1);
+  Alcotest.(check int) "sender received none" 0 (Metrics.party_msgs_recv m 0)
+
 let suite =
   [
     Alcotest.test_case "delivery next round" `Quick test_delivery_next_round;
@@ -230,4 +287,8 @@ let suite =
     Alcotest.test_case "engine rounds" `Quick test_engine_rounds_observed;
     Alcotest.test_case "tag grouping" `Quick test_tag_grouping;
     Alcotest.test_case "tag breakdown" `Quick test_tag_breakdown_accumulates;
+    Alcotest.test_case "report empty selection" `Quick test_report_empty_selection;
+    Alcotest.test_case "report json keys" `Quick test_report_json_keys_stable;
+    Alcotest.test_case "breakdown json" `Quick test_breakdown_json_sorted;
+    Alcotest.test_case "msgs recv" `Quick test_msgs_recv_counted;
   ]

@@ -1,0 +1,314 @@
+(* Tests for the observability subsystem: the counter/histogram registry,
+   trace spans, Chrome trace-event export, and the pool-size-independence
+   contract of deterministic counters. *)
+
+open Repro_core
+module Counters = Repro_obs.Counters
+module Trace = Repro_obs.Trace
+module Parallel = Repro_util.Parallel
+
+(* --- minimal JSON well-formedness checker ---------------------------------
+
+   The repo has no JSON dependency and the exports are hand-rolled, so we
+   validate them with a small recursive-descent recognizer: objects, arrays,
+   strings with escapes, numbers, literals. Returns true iff the whole input
+   is exactly one JSON value. *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then incr pos else fail := true
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail := true);
+    skip_ws ()
+  and literal w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail := true
+  and string_lit () =
+    expect '"';
+    let fin = ref false in
+    while (not !fin) && not !fail do
+      match peek () with
+      | None -> fail := true
+      | Some '"' -> incr pos; fin := true
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
+        | Some 'u' ->
+          incr pos;
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+            | _ -> fail := true)
+          done
+        | _ -> fail := true)
+      | Some _ -> incr pos
+    done
+  and number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let saw = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        saw := true;
+        incr pos
+      done;
+      if not !saw then fail := true
+    in
+    digits ();
+    if peek () = Some '.' then (incr pos; digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ())
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let fin = ref false in
+      while (not !fin) && not !fail do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' -> incr pos; fin := true
+        | _ -> fail := true
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let fin = ref false in
+      while (not !fin) && not !fail do
+        value ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' -> incr pos; fin := true
+        | _ -> fail := true
+      done
+    end
+  in
+  value ();
+  (not !fail) && !pos = n
+
+let test_json_checker_sanity () =
+  List.iter
+    (fun (s, ok) ->
+      Alcotest.(check bool) s ok (json_well_formed s))
+    [
+      ("{}", true);
+      ("[]", true);
+      ("{\"a\":1,\"b\":[1,2.5,-3e2]}", true);
+      ("{\"s\":\"q\\\"uo\\u00e9te\"}", true);
+      ("{\"a\":1,}", false);
+      ("{\"a\"}", false);
+      ("[1", false);
+      ("{} extra", false);
+    ]
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let was = Counters.is_enabled () in
+  Counters.disable ();
+  let c = Counters.make "test.obs.basic" in
+  Counters.reset ();
+  Counters.bump c;
+  Alcotest.(check int) "disabled bump is a no-op" 0 (Counters.value c);
+  Counters.enable ();
+  Counters.bump c;
+  Counters.bump c;
+  Counters.add c 5;
+  Alcotest.(check int) "enabled bumps count" 7 (Counters.value c);
+  (* registering the same name again returns the same cell *)
+  let c' = Counters.make "test.obs.basic" in
+  Counters.bump c';
+  Alcotest.(check int) "make is idempotent" 8 (Counters.value c);
+  Counters.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Counters.value c);
+  if not was then Counters.disable ()
+
+let test_snapshot_shape () =
+  let was = Counters.is_enabled () in
+  Counters.enable ();
+  Counters.reset ();
+  let c = Counters.make "test.obs.snap" in
+  Counters.bump c;
+  let snap = Counters.snapshot () in
+  let names = List.map fst snap in
+  Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names;
+  Alcotest.(check bool) "bumped counter present" true
+    (List.assoc_opt "test.obs.snap" snap = Some 1);
+  (* zero-valued counters stay in the snapshot: key set is run-independent *)
+  Alcotest.(check bool) "zero counters included" true
+    (List.exists (fun (_, v) -> v = 0) snap);
+  Alcotest.(check bool) "snapshot json well-formed" true
+    (json_well_formed (Counters.snapshot_to_json snap));
+  (* the deterministic subset excludes the cache/physical-work counters *)
+  let det = List.map fst (Counters.deterministic_snapshot ()) in
+  Alcotest.(check bool) "cache counters excluded" false
+    (List.mem "sha256.compress" det || List.mem "hashx.cache_hit" det);
+  Counters.reset ();
+  if not was then Counters.disable ()
+
+let test_histogram () =
+  let was = Counters.is_enabled () in
+  Counters.enable ();
+  Counters.reset ();
+  let h = Counters.histogram "test.obs.hist" in
+  List.iter (Counters.observe h) [ 1; 1; 3; 1000 ];
+  let count, sum, buckets =
+    List.assoc "test.obs.hist" (Counters.histogram_snapshot ())
+  in
+  Alcotest.(check int) "count" 4 count;
+  Alcotest.(check int) "sum" 1005 sum;
+  Alcotest.(check int) "bucket 0 (v<=1)" 2 buckets.(0);
+  Alcotest.(check int) "bucket 1 (2..3)" 1 buckets.(1);
+  Alcotest.(check int) "bucket 9 (512..1023)" 1 buckets.(9);
+  Counters.reset ();
+  if not was then Counters.disable ()
+
+(* --- trace spans --- *)
+
+let test_span_nesting () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  let r =
+    Trace.span ~cat:"t" "outer" (fun () ->
+        Trace.span ~cat:"t" ~args:[ ("k", "v") ] "inner" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "thunk result returned" 42 r;
+  let evs = Trace.events () in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  let inner = List.find (fun e -> e.Trace.e_name = "inner") evs in
+  let outer = List.find (fun e -> e.Trace.e_name = "outer") evs in
+  Alcotest.(check (list string)) "inner path" [ "outer"; "inner" ]
+    inner.Trace.e_path;
+  Alcotest.(check (list string)) "outer path" [ "outer" ] outer.Trace.e_path;
+  Alcotest.(check bool) "inner nested in time" true
+    (inner.Trace.e_ts >= outer.Trace.e_ts
+    && inner.Trace.e_dur <= outer.Trace.e_dur);
+  Alcotest.(check bool) "args recorded" true
+    (inner.Trace.e_args = [ ("k", "v") ]);
+  (* events are recorded even when the thunk raises *)
+  (try Trace.span "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "span recorded on exception" true
+    (List.exists (fun e -> e.Trace.e_name = "raises") (Trace.events ()));
+  Trace.reset ();
+  Trace.set_enabled false;
+  Trace.span "off" (fun () -> ());
+  Alcotest.(check int) "disabled records nothing" 0
+    (List.length (Trace.events ()))
+
+let test_chrome_json () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Trace.span ~cat:"t" ~args:[ ("q", "a\"b\\c") ] "sp\"an" (fun () -> ());
+  Trace.mark ~cat:"t" "instant";
+  let json = Trace.to_chrome_json (Trace.events ()) in
+  Alcotest.(check bool) "well-formed" true (json_well_formed json);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has a complete event" true
+    (contains {|"ph":"X"|} json);
+  Trace.reset ();
+  Trace.set_enabled false
+
+(* --- determinism across pool sizes ---------------------------------------
+
+   The acceptance contract: every counter registered as deterministic is a
+   function of the logical work only, identical for any REPRO_DOMAINS. We
+   run the same SRDS keygen fan-out on a 1-domain and a 4-domain pool and
+   compare the deterministic snapshots byte for byte. *)
+let test_counters_pool_independent () =
+  let was_enabled = Counters.is_enabled () in
+  let saved = Parallel.domains () in
+  Counters.enable ();
+  let module B = Srds_intf.Batch (Srds_owf) in
+  let run_with domains =
+    Parallel.set_domains domains;
+    Counters.reset ();
+    let rng = Repro_util.Rng.create 42 in
+    let pp, master = Srds_owf.setup rng ~n:48 in
+    let pairs = B.keygen_all pp master rng ~count:48 in
+    let sks = Array.map snd pairs in
+    ignore (B.sign_all pp sks ~msg:(Bytes.of_string "det"));
+    Counters.snapshot_to_json (Counters.deterministic_snapshot ())
+  in
+  let one = run_with 1 in
+  let four = run_with 4 in
+  Parallel.set_domains saved;
+  Counters.reset ();
+  if not was_enabled then Counters.disable ();
+  Alcotest.(check string) "deterministic counters pool-independent" one four;
+  Alcotest.(check bool) "something was counted" true (one <> "{}")
+
+(* --- end-to-end: a full BA run emits the expected span tree --- *)
+
+let test_ba_emits_phase_spans () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  let row = Runner.run ~protocol:Runner.This_work_owf ~n:64 ~beta:0.08 ~seed:3 in
+  Alcotest.(check bool) "ba succeeded" true row.Runner.r_ok;
+  let names = List.map (fun e -> e.Trace.e_name) (Trace.events ()) in
+  let has prefix =
+    List.exists
+      (fun nm ->
+        String.length nm >= String.length prefix
+        && String.sub nm 0 (String.length prefix) = prefix)
+      names
+  in
+  List.iter
+    (fun p -> Alcotest.(check bool) ("span " ^ p) true (has p))
+    [
+      "A: keygen"; "B: election"; "E: sign+send"; "srds.keygen_all";
+      "srds.aggregate"; "engine:"; "net.round"; "election.run"; "aecomm:";
+    ];
+  let json = Trace.to_chrome_json (Trace.events ()) in
+  Alcotest.(check bool) "full trace well-formed" true (json_well_formed json);
+  Trace.reset ();
+  Trace.set_enabled false
+
+let suite =
+  [
+    Alcotest.test_case "json checker sanity" `Quick test_json_checker_sanity;
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "chrome json" `Quick test_chrome_json;
+    Alcotest.test_case "counters pool-independent" `Quick
+      test_counters_pool_independent;
+    Alcotest.test_case "ba emits phase spans" `Quick test_ba_emits_phase_spans;
+  ]

@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke trace clean
+.PHONY: build test bench bench-smoke bench-compare audit trace clean
 
 build:
 	dune build
@@ -16,6 +16,22 @@ bench-smoke: build
 	python3 -m json.tool BENCH_results.json > /dev/null && \
 	  echo "BENCH_results.json: valid JSON"
 
+# Two smoke runs diffed against each other: exercises the regression
+# gate end-to-end (identical runs must report no regressions, exit 0).
+bench-compare: build
+	BENCH_SMOKE=1 ./_build/default/bench/main.exe
+	cp BENCH_results.json BENCH_prev.json
+	BENCH_SMOKE=1 ./_build/default/bench/main.exe
+	./_build/default/bench/main.exe --compare BENCH_prev.json BENCH_results.json
+
+# Audit every Table-1 protocol against its declared complexity budget and
+# validate the per-round timeline (one JSON object per line). Exits
+# non-zero if a this-work protocol exceeds its own polylog budget.
+audit: build
+	./_build/default/bin/ba_sim.exe audit --timeline-out audit_timeline.jsonl
+	python3 -c "import json,sys; [json.loads(l) for l in open('audit_timeline.jsonl')]" && \
+	  echo "audit_timeline.jsonl: valid JSONL ($$(wc -l < audit_timeline.jsonl) rounds)"
+
 # Record a Chrome trace of one small BA run and check it is well-formed
 # JSON with at least one complete ("X") event. Open trace.json in
 # https://ui.perfetto.dev to browse it.
@@ -27,4 +43,4 @@ trace: build
 
 clean:
 	dune clean
-	rm -f BENCH_results.json trace.json
+	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl

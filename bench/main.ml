@@ -34,10 +34,13 @@ let section title =
 (* ------------------------------------------------------------------ *)
 
 (* Collected as experiments run; written once at exit. Hand-rolled writer:
-   the repo deliberately has no JSON dependency. Each experiment carries its
-   wall time plus the crypto-operation counter snapshot accumulated while it
-   ran (the registry is reset between experiments). *)
-let experiment_times : (string * float * string) list ref = ref []
+   the repo deliberately has no JSON dependency for output (reading back is
+   Repro_util.Json). Each experiment carries its wall time, the full
+   crypto-operation counter snapshot accumulated while it ran (the registry
+   is reset between experiments), and separately the deterministic subset —
+   the counters [--compare] gates regressions on, stable across pool sizes
+   and machines. *)
+let experiment_times : (string * float * string * string) list ref = ref []
 let table1_json_rows : string list ref = ref []
 
 let json_escape s =
@@ -56,10 +59,11 @@ let json_escape s =
 
 let row_to_json (r : Runner.row) =
   Printf.sprintf
-    "{\"protocol\":\"%s\",\"n\":%d,\"beta\":%.3f,\"rounds\":%d,\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"total_bytes\":%d,\"locality\":%d,\"ok\":%b,\"note\":\"%s\",\"tag_breakdown\":%s}"
+    "{\"protocol\":\"%s\",\"n\":%d,\"beta\":%.3f,\"rounds\":%d,\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"p99_bytes\":%.1f,\"stddev_bytes\":%.1f,\"total_bytes\":%d,\"locality\":%d,\"ok\":%b,\"note\":\"%s\",\"tag_breakdown\":%s}"
     (json_escape r.Runner.r_protocol)
     r.Runner.r_n r.Runner.r_beta r.Runner.r_rounds r.Runner.r_max_bytes
     r.Runner.r_mean_bytes r.Runner.r_p50_bytes r.Runner.r_p95_bytes
+    r.Runner.r_p99_bytes r.Runner.r_stddev_bytes
     r.Runner.r_total_bytes r.Runner.r_locality r.Runner.r_ok
     (json_escape r.Runner.r_note)
     (Metrics.breakdown_to_json r.Runner.r_breakdown)
@@ -67,7 +71,7 @@ let row_to_json (r : Runner.row) =
 let write_results ~total_wall_s =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-bench/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/3\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
@@ -76,11 +80,12 @@ let write_results ~total_wall_s =
   Buffer.add_string buf "  \"experiments\": [\n";
   let times = List.rev !experiment_times in
   List.iteri
-    (fun i (name, dt, counters) ->
+    (fun i (name, dt, counters, det) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"wall_s\": %.2f, \"counters\": %s}%s\n"
-           (json_escape name) dt counters
+           "    {\"name\": \"%s\", \"wall_s\": %.2f, \"counters\": %s, \
+            \"det_counters\": %s}%s\n"
+           (json_escape name) dt counters det
            (if i = List.length times - 1 then "" else ",")))
     times;
   Buffer.add_string buf "  ],\n";
@@ -108,7 +113,11 @@ let timed_experiment name f =
   let counters =
     Repro_obs.Counters.snapshot_to_json (Repro_obs.Counters.snapshot ())
   in
-  experiment_times := (name, dt, counters) :: !experiment_times
+  let det =
+    Repro_obs.Counters.snapshot_to_json
+      (Repro_obs.Counters.deterministic_snapshot ())
+  in
+  experiment_times := (name, dt, counters, det) :: !experiment_times
 
 (* ------------------------------------------------------------------ *)
 (* T1/E1: Table 1, measured                                            *)
@@ -838,11 +847,228 @@ let bench_targeted_corruption () =
     "   before committees are elected, so it cannot aim at the supreme";
   print_endline "   committee; the row shows why that ordering matters)"
 
+(* ------------------------------------------------------------------ *)
+(* --compare: regression diffing of two BENCH_results.json files       *)
+(* ------------------------------------------------------------------ *)
+
+module Compare = struct
+  module J = Repro_util.Json
+
+  let load path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match J.parse s with
+    | Ok v -> v
+    | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+
+  let opt_member path keys j =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some j) keys
+    |> function
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing %s" path (String.concat "." keys))
+
+  (* name -> (wall_s, det counter assoc or None for pre-schema/3 files) *)
+  let experiments path j =
+    opt_member path [ "experiments" ] j
+    |> J.to_list
+    |> Option.value ~default:[]
+    |> List.filter_map (fun e ->
+           match (J.member "name" e, J.member "wall_s" e) with
+           | Some name, Some wall ->
+             let det =
+               match J.member "det_counters" e with
+               | Some (J.Obj kvs) ->
+                 Some
+                   (List.filter_map
+                      (fun (k, v) -> Option.map (fun x -> (k, x)) (J.to_int v))
+                      kvs)
+               | _ -> None
+             in
+             Some
+               ( Option.value ~default:"?" (J.to_string name),
+                 Option.value ~default:0.0 (J.to_float wall),
+                 det )
+           | _ -> None)
+
+  (* (protocol, n) -> (total_bytes, max_bytes) *)
+  let table1 path j =
+    opt_member path [ "table1" ] j
+    |> J.to_list
+    |> Option.value ~default:[]
+    |> List.filter_map (fun r ->
+           match
+             ( Option.bind (J.member "protocol" r) J.to_string,
+               Option.bind (J.member "n" r) J.to_int,
+               Option.bind (J.member "total_bytes" r) J.to_int,
+               Option.bind (J.member "max_bytes" r) J.to_int )
+           with
+           | Some p, Some n, Some total, Some mx -> Some ((p, n), (total, mx))
+           | _ -> None)
+
+  (* Sign convention: positive = the current run costs more. *)
+  let delta_pct prev cur =
+    if prev = 0 then if cur = 0 then Some 0.0 else None
+    else Some (100.0 *. float_of_int (cur - prev) /. float_of_int prev)
+
+  let fmt_delta = function
+    | Some d -> Printf.sprintf "%+.1f%%" d
+    | None -> "new"
+
+  (* Exit code 1 iff per-party bytes or a deterministic counter regress by
+     more than [threshold] percent. Wall times are printed for context but
+     never gated: they are machine/load noise; the gated quantities are
+     bit-exact functions of the logical work. *)
+  let run ~prev_path ~cur_path ~threshold =
+    let prev = load prev_path and cur = load cur_path in
+    let regressions = ref [] in
+    let gate what = function
+      | Some d when d > threshold -> regressions := what :: !regressions
+      | None -> regressions := what :: !regressions (* appeared from zero *)
+      | Some _ -> ()
+    in
+    Printf.printf "bench compare: %s -> %s (threshold %.1f%%)\n" prev_path
+      cur_path threshold;
+
+    (* Table 1 rows: the per-party and total byte costs. *)
+    let t1_prev = table1 prev_path prev and t1_cur = table1 cur_path cur in
+    let tbl =
+      Tablefmt.create ~title:"communication (table1 rows present in both files)"
+        ~headers:
+          [ "protocol"; "n"; "total prev"; "total cur"; "d total";
+            "max/party prev"; "max/party cur"; "d max" ]
+        ~aligns:
+          [ Tablefmt.Left; Right; Right; Right; Right; Right; Right; Right ]
+    in
+    List.iter
+      (fun ((proto, n), (total_p, max_p)) ->
+        match List.assoc_opt (proto, n) t1_cur with
+        | None -> ()
+        | Some (total_c, max_c) ->
+          let d_total = delta_pct total_p total_c in
+          let d_max = delta_pct max_p max_c in
+          gate (Printf.sprintf "%s n=%d total_bytes" proto n) d_total;
+          gate (Printf.sprintf "%s n=%d max_bytes" proto n) d_max;
+          Tablefmt.add_row tbl
+            [
+              proto; string_of_int n; string_of_int total_p;
+              string_of_int total_c; fmt_delta d_total; string_of_int max_p;
+              string_of_int max_c; fmt_delta d_max;
+            ])
+      t1_prev;
+    Tablefmt.print tbl;
+
+    (* Experiments: wall time (context) + deterministic counters (gated). *)
+    let ex_prev = experiments prev_path prev
+    and ex_cur = experiments cur_path cur in
+    let tbl =
+      Tablefmt.create ~title:"experiments"
+        ~headers:
+          [ "experiment"; "wall prev"; "wall cur"; "d wall";
+            "det counters regressed" ]
+        ~aligns:[ Tablefmt.Left; Right; Right; Right; Left ]
+    in
+    List.iter
+      (fun (name, wall_p, det_p) ->
+        match
+          List.find_opt (fun (n, _, _) -> n = name) ex_cur
+        with
+        | None -> ()
+        | Some (_, wall_c, det_c) ->
+          let counter_note =
+            match (det_p, det_c) with
+            | Some dp, Some dc ->
+              let regressed =
+                List.filter_map
+                  (fun (k, pv) ->
+                    match List.assoc_opt k dc with
+                    | None -> None
+                    | Some cv -> (
+                      let what = Printf.sprintf "%s %s" name k in
+                      match delta_pct pv cv with
+                      | Some d when d > threshold ->
+                        regressions := what :: !regressions;
+                        Some (Printf.sprintf "%s %s" k (fmt_delta (Some d)))
+                      | None ->
+                        regressions := what :: !regressions;
+                        Some (Printf.sprintf "%s new=%d" k cv)
+                      | Some _ -> None))
+                  dp
+              in
+              if regressed = [] then "-" else String.concat ", " regressed
+            | _ -> "(no det_counters; pre-schema/3 file)"
+          in
+          let d_wall =
+            if wall_p > 0.0 then
+              Printf.sprintf "%+.1f%%" (100.0 *. (wall_c -. wall_p) /. wall_p)
+            else "-"
+          in
+          Tablefmt.add_row tbl
+            [
+              name;
+              Printf.sprintf "%.2fs" wall_p;
+              Printf.sprintf "%.2fs" wall_c;
+              d_wall;
+              counter_note;
+            ])
+      ex_prev;
+    Tablefmt.print tbl;
+
+    match List.rev !regressions with
+    | [] ->
+      print_endline "no regressions beyond threshold";
+      0
+    | rs ->
+      Printf.printf "REGRESSIONS (%d):\n" (List.length rs);
+      List.iter (fun r -> Printf.printf "  %s\n" r) rs;
+      1
+end
+
+(* Minimal flag parsing: the harness keeps its env-var interface for mode
+   selection; flags cover the two tool-style entry points. *)
+let parse_args () =
+  let compare_paths = ref [] and threshold = ref 5.0 and audit = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--compare" :: prev :: rest when String.length prev > 0 && prev.[0] <> '-'
+      ->
+      let cur, rest =
+        match rest with
+        | c :: r when String.length c > 0 && c.[0] <> '-' -> (c, r)
+        | _ -> ("BENCH_results.json", rest)
+      in
+      compare_paths := [ prev; cur ];
+      go rest
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f -> threshold := f
+      | None -> failwith ("--threshold: bad number " ^ v));
+      go rest
+    | "--audit" :: rest ->
+      audit := true;
+      go rest
+    | arg :: _ ->
+      failwith
+        (Printf.sprintf
+           "unknown argument %s (usage: bench [--audit] [--compare PREV.json \
+            [CUR.json]] [--threshold PCT])"
+           arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!compare_paths, !threshold, !audit)
+
 let () =
   (* The harness always meters crypto work: the per-experiment counter
      objects in BENCH_results.json are what before/after perf comparisons
      diff. (A few ns per op; the protocol wall times stay dominated by the
      protocols themselves.) *)
+  let compare_paths, threshold, audit = parse_args () in
+  (match compare_paths with
+  | [ prev_path; cur_path ] ->
+    exit (Compare.run ~prev_path ~cur_path ~threshold)
+  | _ -> ());
+  if audit then Repro_obs.Audit.enable_global ();
   Repro_obs.Counters.enable ();
   let t0 = Unix.gettimeofday () in
   print_endline "Reproduction benchmark harness:";

@@ -2,6 +2,7 @@
 
    Subcommands:
      run        one protocol execution with a summary line
+     audit      every protocol vs its declared polylog complexity budgets
      table1     the measured Table 1 comparison
      sweep      scaling sweep with fitted growth exponents
      games      the Fig. 1 / Fig. 2 security games over the attack portfolio
@@ -69,11 +70,25 @@ let breakdown_arg =
     & info [ "breakdown" ]
         ~doc:"Print the per-phase sent-bytes breakdown as a table.")
 
+let audit_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Attach the per-party complexity auditor (the protocol's declared \
+           polylog budgets) and print its verdict after the run. Equivalent \
+           to setting REPRO_AUDIT.")
+
 let run_cmd =
-  let action protocol n beta seed trace_out counters breakdown =
+  let action protocol n beta seed trace_out counters breakdown audit =
     if trace_out <> None then Repro_obs.Trace.set_output trace_out;
     if counters then Repro_obs.Counters.enable ();
-    let row = Runner.run ~protocol ~n ~beta ~seed in
+    let row, auditor =
+      if audit || Repro_obs.Audit.global_enabled () then
+        let row, a = Runner.run_audited ~protocol ~n ~beta ~seed in
+        (row, Some a)
+      else (Runner.run ~protocol ~n ~beta ~seed, None)
+    in
     Printf.printf
       "%s n=%d beta=%.2f: rounds=%d max=%.1fKiB/party mean=%.1fKiB total=%.1fMiB \
        locality=%d ok=%b (%s)\n"
@@ -82,6 +97,9 @@ let run_cmd =
       (row.Runner.r_mean_bytes /. 1024.)
       (float_of_int row.Runner.r_total_bytes /. 1048576.)
       row.Runner.r_locality row.Runner.r_ok row.Runner.r_note;
+    (match auditor with
+    | Some a -> Format.printf "%a%!" Repro_obs.Audit.pp_summary a
+    | None -> ());
     if breakdown then begin
       Printf.printf "per-phase sent bytes:\n";
       Format.printf "%a%!" Repro_net.Metrics.pp_breakdown row.Runner.r_breakdown
@@ -102,7 +120,142 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one protocol execution.")
     Term.(
       const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg $ trace_out_arg
-      $ counters_arg $ breakdown_arg)
+      $ counters_arg $ breakdown_arg $ audit_flag_arg)
+
+(* --- audit --- *)
+
+let audit_n_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "n" ] ~docv:"N"
+        ~doc:"Number of parties (the budget curves scale with log n).")
+
+let timeline_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-round audit timeline as JSON Lines (one object per \
+           protocol round: phase, per-party max/mean bits, active parties, \
+           locality, violations).")
+
+let audit_cmd =
+  let action n beta seed timeline_out =
+    let module Audit = Repro_obs.Audit in
+    let results =
+      List.map
+        (fun protocol ->
+          let row, a = Runner.run_audited ~protocol ~n ~beta ~seed in
+          (protocol, row, a))
+        Runner.all_protocols
+    in
+    let fmt_check cv observed =
+      match cv with
+      | None -> Printf.sprintf "%d" observed
+      | Some cv ->
+        let b = Audit.eval cv ~n ~kappa:Audit.kappa_default in
+        Printf.sprintf "%d/%.0f%s" observed b
+          (if float_of_int observed > b then " !" else "")
+    in
+    let t =
+      Repro_util.Tablefmt.create
+        ~title:
+          (Printf.sprintf
+             "complexity audit, n=%d beta=%.2f (observed/budget, ! = exceeded)"
+             n beta)
+        ~headers:
+          [ "protocol"; "rounds"; "bits/round"; "locality/round"; "total bits";
+            "violations"; "verdict" ]
+        ~aligns:
+          [ Repro_util.Tablefmt.Left; Right; Right; Right; Right; Right; Left ]
+    in
+    List.iter
+      (fun (_, _, a) ->
+        let b = Audit.budgets a in
+        Repro_util.Tablefmt.add_row t
+          [
+            Audit.label a;
+            string_of_int (Audit.rounds_seen a);
+            fmt_check b.Audit.round_bits (Audit.max_round_bits a);
+            fmt_check b.Audit.round_locality (Audit.max_round_locality a);
+            fmt_check b.Audit.total_bits (Audit.total_bits_max a);
+            string_of_int (Audit.violation_count a);
+            (if Audit.violation_count a = 0 then "within budget"
+             else "OVER BUDGET");
+          ])
+      results;
+    Repro_util.Tablefmt.print t;
+    (* Budget declarations, so the table is self-describing. *)
+    Printf.printf "declared budgets (kappa=%d):\n" Audit.kappa_default;
+    List.iter
+      (fun (_, _, a) ->
+        let b = Audit.budgets a in
+        let c name = function
+          | None -> ""
+          | Some cv -> Format.asprintf "%s %a  " name Audit.pp_curve cv
+        in
+        Printf.printf "  %-16s %s%s%s\n" (Audit.label a)
+          (c "bits/round" b.Audit.round_bits)
+          (c "locality" b.Audit.round_locality)
+          (c "total" b.Audit.total_bits))
+      results;
+    (* Worst offenders for every protocol that blew its budget. *)
+    List.iter
+      (fun (_, _, a) ->
+        if Audit.violation_count a > 0 then begin
+          let t =
+            Repro_util.Tablefmt.create
+              ~title:(Printf.sprintf "worst offenders: %s" (Audit.label a))
+              ~headers:[ "party"; "violations"; "total bits" ]
+              ~aligns:[ Repro_util.Tablefmt.Right; Right; Right ]
+          in
+          List.iter
+            (fun (p, v, bits) ->
+              Repro_util.Tablefmt.add_row t
+                [ string_of_int p; string_of_int v; string_of_int bits ])
+            (Audit.worst_offenders ~top:5 a);
+          Repro_util.Tablefmt.print t;
+          match Audit.violations a with
+          | [] -> ()
+          | v :: _ ->
+            Printf.printf
+              "  first violation: party %d round %d [%s] %s observed %.0f > \
+               budget %.0f\n"
+              v.Audit.v_party v.Audit.v_round v.Audit.v_phase
+              (Audit.kind_name v.Audit.v_kind)
+              v.Audit.v_observed v.Audit.v_budget
+        end)
+      results;
+    (match timeline_out with
+    | Some file ->
+      let oc = open_out file in
+      List.iter
+        (fun (_, _, a) ->
+          output_string oc (Audit.timeline_jsonl ~protocol:(Audit.label a) a))
+        results;
+      close_out oc;
+      Printf.printf "timeline written to %s\n" file
+    | None -> ());
+    (* Exit non-zero if a this-work protocol broke its own budget: the
+       polylog claim is the reproduction's headline and this is its gate. *)
+    let this_work_ok =
+      List.for_all
+        (fun (p, _, a) ->
+          match p with
+          | Runner.This_work_owf | Runner.This_work_snark ->
+            Audit.violation_count a = 0
+          | _ -> true)
+        results
+    in
+    if not this_work_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Audit every protocol against its declared polylog complexity \
+          budgets; non-zero exit if a this-work protocol exceeds its own.")
+    Term.(const action $ audit_n_arg $ beta_arg $ seed_arg $ timeline_out_arg)
 
 (* --- table1 --- *)
 
@@ -323,5 +476,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; table1_cmd; sweep_cmd; games_cmd; boost_cmd; broadcast_cmd;
-            attacks_cmd; breakdown_cmd ]))
+          [ run_cmd; audit_cmd; table1_cmd; sweep_cmd; games_cmd; boost_cmd;
+            broadcast_cmd; attacks_cmd; breakdown_cmd ]))

@@ -112,6 +112,8 @@ let plurality values =
    injects (honest members inject the agreed value). Returns what each party
    adopted. Takes (height + 1) network rounds. *)
 let disseminate ?adversary net t ~label ~values =
+  Repro_obs.Audit.with_phase (Network.audit net) ("aecomm:" ^ label)
+  @@ fun () ->
   Repro_obs.Trace.span ~cat:"aecomm" ~args:[ ("label", label) ]
     ("aecomm:" ^ label)
   @@ fun () ->

@@ -84,8 +84,10 @@ let trace_enabled () = Logs.Src.level src = Some Logs.Debug
 (* Each protocol phase is a [Repro_obs.Trace] span (category "ba"), so phase
    structure lands in the exported Chrome trace; the legacy REPRO_TRACE
    behavior — one debug log line with the phase wall time — rides on top of
-   the same measurement when the Logs source is at Debug. *)
-let timed name f =
+   the same measurement when the Logs source is at Debug. When the network
+   carries an auditor, the same phase name labels its timeline/violations. *)
+let timed ?audit name f =
+  Repro_obs.Audit.with_phase audit name @@ fun () ->
   Repro_obs.Trace.span ~cat:"ba" name @@ fun () ->
   if trace_enabled () then begin
     let t0 = Unix.gettimeofday () in
@@ -116,7 +118,7 @@ module Make (S : Srds_intf.SCHEME) = struct
     adversary : Network.adversary option;
   }
 
-  let make_ctx (cfg : config) : ctx =
+  let make_ctx ?audit (cfg : config) : ctx =
     Repro_crypto.Wots.clear_cache ();
     let n = cfg.n in
     let rng = Rng.create cfg.seed in
@@ -133,9 +135,10 @@ module Make (S : Srds_intf.SCHEME) = struct
           B.keygen_all pp master setup_rng ~count:num_slots)
     in
     let net = Network.create ~n ~corrupt:cfg.corrupt in
+    Option.iter (Network.attach_audit net) audit;
     (* Phase B: election establishes the tree. *)
     let ae =
-      timed "B: election" (fun () ->
+      timed ?audit:(Network.audit net) "B: election" (fun () ->
           Ae_comm.establish_with_assignment net params ~slot_party
             ~rng:(Rng.of_label rng "election"))
     in
@@ -177,6 +180,7 @@ module Make (S : Srds_intf.SCHEME) = struct
   let certify ctx ~label ~values : bytes option array =
     let n = Network.n ctx.net in
     let net = ctx.net in
+    let timed name f = timed ?audit:(Network.audit net) name f in
     let params = ctx.params in
     let tree = ctx.tree in
 
@@ -478,8 +482,9 @@ module Make (S : Srds_intf.SCHEME) = struct
 
   (* --- the full Byzantine agreement protocol --- *)
 
-  let run (cfg : config) : result =
-    let ctx = make_ctx cfg in
+  let run ?audit (cfg : config) : result =
+    let ctx = make_ctx ?audit cfg in
+    let timed name f = timed ?audit:(Network.audit ctx.net) name f in
     let n = cfg.n in
     let corrupt p = Network.is_corrupt ctx.net p in
     let tree_good = Repro_aetree.Tree_check.check_goodness ctx.tree ~corrupt = [] in

@@ -24,9 +24,10 @@ type result = {
   breakdown : (string * int) list; (* sent bytes per tag group *)
 }
 
-let run (cfg : config) : result =
+let run ?audit (cfg : config) : result =
   let n = cfg.n in
   let net = Network.create ~n ~corrupt:cfg.corrupt in
+  Option.iter (Network.attach_audit net) audit;
   let honest p = Network.is_honest net p in
   let enc b = Bytes.make 1 (if b then '\001' else '\000') in
   let outputs = Array.make n None in
@@ -52,8 +53,9 @@ let run (cfg : config) : result =
       if t + f > 0 then outputs.(p) <- Some (t > f)
     end
   in
-  Network.run net ~rounds:2
-    (Array.init n (fun p -> if honest p then Some (handler p) else None));
+  Repro_obs.Audit.with_phase (Network.audit net) "flood" (fun () ->
+      Network.run net ~rounds:2
+        (Array.init n (fun p -> if honest p then Some (handler p) else None)));
   let honest_list = List.filter honest (List.init n (fun p -> p)) in
   let decided = List.filter_map (fun p -> outputs.(p)) honest_list in
   let agreed =

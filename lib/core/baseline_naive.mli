@@ -17,4 +17,5 @@ type result = {
   breakdown : (string * int) list;  (** sent bytes per tag group *)
 }
 
-val run : config -> result
+val run : ?audit:Repro_obs.Audit.t -> config -> result
+(** [?audit] attaches a complexity auditor to the run's network. *)

@@ -33,7 +33,7 @@ type result = {
 
 let group_size n = max 1 (Repro_util.Mathx.isqrt n)
 
-let run (cfg : config) : result =
+let run ?audit (cfg : config) : result =
   let n = cfg.n in
   let g = group_size n in
   let num_groups = Repro_util.Mathx.ceil_div n g in
@@ -42,6 +42,7 @@ let run (cfg : config) : result =
   let row_of p = p mod g in
   let row_members r = List.filter (fun p -> p < n) (List.init num_groups (fun k -> (k * g) + r)) in
   let net = Network.create ~n ~corrupt:cfg.corrupt in
+  Option.iter (Network.attach_audit net) audit;
   let honest p = Network.is_honest net p in
   let enc b = Bytes.make 1 (if b then '\001' else '\000') in
   let dec payload =
@@ -89,8 +90,9 @@ let run (cfg : config) : result =
       outputs.(p) <- majority (own @ votes)
     end
   in
-  Network.run net ~rounds:3
-    (Array.init n (fun p -> if honest p then Some (handler p) else None));
+  Repro_obs.Audit.with_phase (Network.audit net) "quorum" (fun () ->
+      Network.run net ~rounds:3
+        (Array.init n (fun p -> if honest p then Some (handler p) else None)));
   let honest_list = List.filter honest (List.init n (fun p -> p)) in
   let decided = List.filter_map (fun p -> outputs.(p)) honest_list in
   let agreed =

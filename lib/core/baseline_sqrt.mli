@@ -19,4 +19,6 @@ type result = {
 }
 
 val group_size : int -> int
-val run : config -> result
+
+val run : ?audit:Repro_obs.Audit.t -> config -> result
+(** [?audit] attaches a complexity auditor to the run's network. *)

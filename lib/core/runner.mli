@@ -13,6 +13,16 @@ val all_protocols : protocol list
 val protocol_name : protocol -> string
 val protocol_of_name : string -> protocol option
 
+val budgets_of : protocol -> Repro_obs.Audit.budgets
+(** The complexity budgets each protocol is audited against, all of the
+    paper's polylog shape [c * log^k(n) * kappa^j]. The this-work
+    instantiations declare curves they meet; the baselines declare the
+    polylog claim they provably exceed (naive flooding most visibly), so
+    the auditor demonstrably has teeth. *)
+
+val make_auditor : protocol:protocol -> n:int -> Repro_obs.Audit.t
+(** A fresh auditor carrying [budgets_of protocol]. *)
+
 type row = {
   r_protocol : string;
   r_n : int;
@@ -22,6 +32,8 @@ type row = {
   r_mean_bytes : float;
   r_p50_bytes : float;
   r_p95_bytes : float;
+  r_p99_bytes : float;
+  r_stddev_bytes : float;  (** per-party spread: load-balance quality *)
   r_total_bytes : int;
   r_locality : int;
   r_ok : bool;  (** agreement/validity held *)
@@ -30,6 +42,16 @@ type row = {
 }
 
 val run : protocol:protocol -> n:int -> beta:float -> seed:int -> row
+(** When {!Repro_obs.Audit.global_enabled} (the [REPRO_AUDIT] environment
+    variable, [--audit]), every run carries a fresh auditor with the
+    protocol's declared budgets; violations reach the [audit.violations]
+    registry counter. *)
+
+val run_audited :
+  protocol:protocol -> n:int -> beta:float -> seed:int ->
+  row * Repro_obs.Audit.t
+(** Like {!run} but always audited; returns the finalized auditor with its
+    violations, timeline and per-phase breakdown. *)
 
 val corrupt_by_strategy :
   strategy:Repro_aetree.Attacks.strategy -> n:int -> beta:float -> seed:int ->

@@ -95,5 +95,8 @@ let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
     Array.init n (fun p ->
         if Network.is_honest net p then Some (handler p) else None)
   in
+  (* The engine tag ("coin-ba", "aggr-ba-2", ...) is the finest-grained
+     phase label the auditor's timeline and violations carry. *)
+  Repro_obs.Audit.with_phase (Network.audit net) ("engine:" ^ tag) @@ fun () ->
   Repro_obs.Trace.span ~cat:"engine" ("engine:" ^ tag) (fun () ->
       Network.run net ?adversary ~rounds:(rounds + 1) handlers)

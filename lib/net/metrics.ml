@@ -101,6 +101,8 @@ type report = {
   mean_bytes : float;
   p50_bytes : float; (* median per-party bytes *)
   p95_bytes : float;
+  p99_bytes : float;
+  stddev_bytes : float; (* per-party spread: load-balance quality *)
   total_bytes : int; (* over the whole network, all parties *)
   max_msgs_sent : int;
   max_locality : int;
@@ -120,6 +122,8 @@ let report ?(include_party = fun _ -> true) t =
       mean_bytes = 0.;
       p50_bytes = 0.;
       p95_bytes = 0.;
+      p99_bytes = 0.;
+      stddev_bytes = 0.;
       total_bytes = Array.fold_left (fun acc s -> acc + s.bytes_sent) 0 t.stats;
       max_msgs_sent = 0;
       max_locality = 0;
@@ -138,6 +142,8 @@ let report ?(include_party = fun _ -> true) t =
     mean_bytes = Repro_util.Mathx.mean fbytes;
     p50_bytes = Repro_util.Mathx.percentile 0.5 fbytes;
     p95_bytes = Repro_util.Mathx.percentile 0.95 fbytes;
+    p99_bytes = Repro_util.Mathx.percentile 0.99 fbytes;
+    stddev_bytes = Repro_util.Mathx.stddev fbytes;
     total_bytes = total;
     max_msgs_sent =
       List.fold_left (fun acc i -> max acc (party_msgs_sent t i)) 0 parties;
@@ -188,6 +194,7 @@ let pp_report ppf r =
    a flat JSON object string, keys stable across versions. *)
 let report_to_json r =
   Printf.sprintf
-    "{\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"total_bytes\":%d,\"max_msgs_sent\":%d,\"max_locality\":%d,\"mean_locality\":%.2f,\"rounds\":%d}"
-    r.max_bytes r.mean_bytes r.p50_bytes r.p95_bytes r.total_bytes
-    r.max_msgs_sent r.max_locality r.mean_locality r.rounds
+    "{\"max_bytes\":%d,\"mean_bytes\":%.1f,\"p50_bytes\":%.1f,\"p95_bytes\":%.1f,\"p99_bytes\":%.1f,\"stddev_bytes\":%.1f,\"total_bytes\":%d,\"max_msgs_sent\":%d,\"max_locality\":%d,\"mean_locality\":%.2f,\"rounds\":%d}"
+    r.max_bytes r.mean_bytes r.p50_bytes r.p95_bytes r.p99_bytes
+    r.stddev_bytes r.total_bytes r.max_msgs_sent r.max_locality
+    r.mean_locality r.rounds

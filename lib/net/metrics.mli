@@ -38,6 +38,8 @@ type report = {
   mean_bytes : float;
   p50_bytes : float;
   p95_bytes : float;
+  p99_bytes : float;
+  stddev_bytes : float;
   total_bytes : int;
   max_msgs_sent : int;
   max_locality : int;

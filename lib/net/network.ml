@@ -20,6 +20,7 @@ type t = {
   n : int;
   corrupt : bool array;
   metrics : Metrics.t;
+  mutable audit : Repro_obs.Audit.t option; (* online complexity auditor *)
   mutable staged : Wire.msg list; (* sent this round, reversed *)
   mutable inboxes : Wire.msg list array; (* deliveries for the current round *)
   mutable round : int;
@@ -46,6 +47,7 @@ let create ~n ~corrupt =
     n;
     corrupt = c;
     metrics = Metrics.create n;
+    audit = None;
     staged = [];
     inboxes = Array.make n [];
     round = 0;
@@ -53,6 +55,13 @@ let create ~n ~corrupt =
 
 let n t = t.n
 let metrics t = t.metrics
+let audit t = t.audit
+
+(* The auditor only budget-checks honest parties: the adversary can always
+   inflate its own parties' numbers. *)
+let attach_audit t a =
+  Repro_obs.Audit.set_corrupt a t.corrupt;
+  t.audit <- Some a
 let round t = t.round
 let is_corrupt t i = t.corrupt.(i)
 let is_honest t i = not t.corrupt.(i)
@@ -67,6 +76,9 @@ let send t ~src:s ~dst ~tag payload =
   let m = { Wire.src = s; dst; tag; payload } in
   Metrics.note_send t.metrics m;
   Repro_obs.Counters.observe h_msg_bytes (Bytes.length payload);
+  Option.iter
+    (fun a -> Repro_obs.Audit.note_send a ~src:s ~dst ~bits:(8 * Wire.size m))
+    t.audit;
   t.staged <- m :: t.staged
 
 let send_many t ~src ~dsts ~tag payload =
@@ -85,6 +97,11 @@ let deliver t =
   List.iter
     (fun (m : Wire.msg) ->
       Metrics.note_recv t.metrics m;
+      Option.iter
+        (fun a ->
+          Repro_obs.Audit.note_recv a ~src:m.Wire.src ~dst:m.Wire.dst
+            ~bits:(8 * Wire.size m))
+        t.audit;
       next.(m.dst) <- m :: next.(m.dst))
     t.staged;
   t.inboxes <- next;
@@ -101,6 +118,9 @@ let step t ?(adversary = null_adversary) handlers =
     handlers;
   adversary.adv_step t ~round:t.round ~honest_staged:(staged_honest t);
   deliver t;
+  (* Receives of round r's sends are charged to round r, keeping per-round
+     send/recv conservation; the auditor closes the round after delivery. *)
+  Option.iter (fun a -> Repro_obs.Audit.end_round a ~round:t.round) t.audit;
   t.round <- t.round + 1
 
 let run t ?adversary ?stop ~rounds handlers =

@@ -18,8 +18,18 @@ type adversary = {
 val null_adversary : adversary
 
 val create : n:int -> corrupt:int list -> t
+
+val attach_audit : t -> Repro_obs.Audit.t -> unit
+(** Attach an online per-party complexity auditor: every subsequent send,
+    delivery and round boundary is fed to it, and its budget checks are
+    restricted to the honest parties. *)
+
 val n : t -> int
 val metrics : t -> Metrics.t
+
+val audit : t -> Repro_obs.Audit.t option
+(** The attached auditor, if any — protocol layers use it to tag phases. *)
+
 val round : t -> int
 val is_corrupt : t -> int -> bool
 val is_honest : t -> int -> bool

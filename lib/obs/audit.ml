@@ -1,0 +1,369 @@
+(* Online per-party complexity auditor. See audit.mli for the contract.
+
+   Design constraints inherited from the rest of lib/obs: stdlib-only (the
+   library sits at the bottom of the dependency DAG), and cheap enough to
+   leave attached to every metered network. An instance is owned by one
+   protocol execution and mutated single-threadedly by that execution's
+   network; the per-round arrays are O(n) ints and the reset between rounds
+   is a plain Array.fill, so the auditor adds a few ns per message. *)
+
+type curve = { c : float; log_exp : int; kappa_exp : int }
+
+let curve ~c ~log_exp ~kappa_exp = { c; log_exp; kappa_exp }
+
+(* ceil(log2 n), clamped to >= 2 so curves are monotone from tiny n. *)
+let log2_ceil n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  max 2 (go 0 (max 1 n))
+
+let powf b e =
+  let rec go acc e = if e <= 0 then acc else go (acc *. b) (e - 1) in
+  go 1.0 e
+
+let eval cv ~n ~kappa =
+  cv.c
+  *. powf (float_of_int (log2_ceil n)) cv.log_exp
+  *. powf (float_of_int kappa) cv.kappa_exp
+
+let pp_curve ppf cv =
+  let factor name e =
+    if e = 0 then "" else if e = 1 then "*" ^ name else Printf.sprintf "*%s^%d" name e
+  in
+  Format.fprintf ppf "%g%s%s" cv.c (factor "log(n)" cv.log_exp)
+    (factor "k" cv.kappa_exp)
+
+type budgets = {
+  round_bits : curve option;
+  round_locality : curve option;
+  total_bits : curve option;
+}
+
+let no_budgets = { round_bits = None; round_locality = None; total_bits = None }
+
+type kind = Round_bits | Round_locality | Total_bits
+
+let kind_name = function
+  | Round_bits -> "round-bits"
+  | Round_locality -> "round-locality"
+  | Total_bits -> "total-bits"
+
+type violation = {
+  v_party : int;
+  v_round : int;
+  v_phase : string;
+  v_kind : kind;
+  v_observed : float;
+  v_budget : float;
+}
+
+type round_rec = {
+  tr_round : int;
+  tr_phase : string;
+  tr_max_bits : int;
+  tr_mean_bits : float;
+  tr_active : int;
+  tr_max_locality : int;
+  tr_violations : int;
+}
+
+(* Violations recorded by any auditor also bump a registry counter, so
+   bench experiments (which snapshot the registry) carry violation counts.
+   Network traffic is pool-size independent, hence so is this counter. *)
+let c_violations = Counters.make "audit.violations"
+
+type t = {
+  a_label : string;
+  a_n : int;
+  a_kappa : int;
+  a_budgets : budgets;
+  mutable corrupt : bool array;
+  (* per-round state, reset by end_round *)
+  round_bits : int array;
+  round_peers : (int, unit) Hashtbl.t array;
+  (* whole-execution accumulators *)
+  totals : int array;
+  total_peers : (int, unit) Hashtbl.t array;
+  viol_of_party : int array;
+  phase_bits : (string, int array) Hashtbl.t;
+  mutable phases : string list; (* stack of joined paths, innermost first *)
+  mutable violations_rev : violation list;
+  mutable violation_count : int;
+  mutable timeline_rev : round_rec list;
+  mutable rounds_seen : int;
+  mutable max_round_bits : int;
+  mutable max_round_locality : int;
+  mutable finalized : bool;
+  mutable last_round : int;
+}
+
+let kappa_default = 128
+
+let create ?(label = "audit") ?(kappa = kappa_default) ~n ~budgets () =
+  if n < 1 then invalid_arg "Audit.create: n < 1";
+  {
+    a_label = label;
+    a_n = n;
+    a_kappa = kappa;
+    a_budgets = budgets;
+    corrupt = Array.make n false;
+    round_bits = Array.make n 0;
+    round_peers = Array.init n (fun _ -> Hashtbl.create 8);
+    totals = Array.make n 0;
+    total_peers = Array.init n (fun _ -> Hashtbl.create 16);
+    viol_of_party = Array.make n 0;
+    phase_bits = Hashtbl.create 16;
+    phases = [];
+    violations_rev = [];
+    violation_count = 0;
+    timeline_rev = [];
+    rounds_seen = 0;
+    max_round_bits = 0;
+    max_round_locality = 0;
+    finalized = false;
+    last_round = -1;
+  }
+
+let label t = t.a_label
+let n t = t.a_n
+let kappa t = t.a_kappa
+let budgets t = t.a_budgets
+
+let set_corrupt t mask =
+  if Array.length mask <> t.a_n then invalid_arg "Audit.set_corrupt: arity";
+  t.corrupt <- Array.copy mask
+
+let honest t p = not t.corrupt.(p)
+
+(* --- phase stack --- *)
+
+let current_phase t = match t.phases with [] -> "" | p :: _ -> p
+
+let push_phase t name =
+  let joined =
+    match t.phases with [] -> name | top :: _ -> top ^ ">" ^ name
+  in
+  t.phases <- joined :: t.phases
+
+let pop_phase t =
+  match t.phases with [] -> () | _ :: rest -> t.phases <- rest
+
+let with_phase opt name f =
+  match opt with
+  | None -> f ()
+  | Some t ->
+    push_phase t name;
+    Fun.protect ~finally:(fun () -> pop_phase t) f
+
+(* --- accounting --- *)
+
+let phase_cell t =
+  let key = current_phase t in
+  match Hashtbl.find_opt t.phase_bits key with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.make t.a_n 0 in
+    Hashtbl.add t.phase_bits key arr;
+    arr
+
+let charge t p other bits =
+  t.round_bits.(p) <- t.round_bits.(p) + bits;
+  t.totals.(p) <- t.totals.(p) + bits;
+  if not (Hashtbl.mem t.round_peers.(p) other) then
+    Hashtbl.add t.round_peers.(p) other ();
+  if not (Hashtbl.mem t.total_peers.(p) other) then
+    Hashtbl.add t.total_peers.(p) other ();
+  let ph = phase_cell t in
+  ph.(p) <- ph.(p) + bits
+
+let note_send t ~src ~dst ~bits = charge t src dst bits
+let note_recv t ~src ~dst ~bits = charge t dst src bits
+
+let record t v =
+  t.violations_rev <- v :: t.violations_rev;
+  t.violation_count <- t.violation_count + 1;
+  if v.v_party >= 0 && v.v_party < t.a_n then
+    t.viol_of_party.(v.v_party) <- t.viol_of_party.(v.v_party) + 1;
+  Counters.bump c_violations
+
+let check t ~party ~round ~kind ~observed = function
+  | None -> false
+  | Some cv ->
+    let budget = eval cv ~n:t.a_n ~kappa:t.a_kappa in
+    if observed > budget then begin
+      record t
+        {
+          v_party = party;
+          v_round = round;
+          v_phase = current_phase t;
+          v_kind = kind;
+          v_observed = observed;
+          v_budget = budget;
+        };
+      true
+    end
+    else false
+
+let end_round t ~round =
+  t.last_round <- round;
+  t.rounds_seen <- t.rounds_seen + 1;
+  let max_bits = ref 0 and sum_bits = ref 0 and active = ref 0 in
+  let max_loc = ref 0 and viols = ref 0 in
+  for p = 0 to t.a_n - 1 do
+    if honest t p then begin
+      let bits = t.round_bits.(p) in
+      let loc = Hashtbl.length t.round_peers.(p) in
+      if bits > !max_bits then max_bits := bits;
+      sum_bits := !sum_bits + bits;
+      if loc > !max_loc then max_loc := loc;
+      if bits > 0 || loc > 0 then incr active;
+      if
+        check t ~party:p ~round ~kind:Round_bits ~observed:(float_of_int bits)
+          t.a_budgets.round_bits
+      then incr viols;
+      if
+        check t ~party:p ~round ~kind:Round_locality
+          ~observed:(float_of_int loc) t.a_budgets.round_locality
+      then incr viols
+    end
+  done;
+  if !max_bits > t.max_round_bits then t.max_round_bits <- !max_bits;
+  if !max_loc > t.max_round_locality then t.max_round_locality <- !max_loc;
+  let honest_n =
+    Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 t.corrupt
+  in
+  t.timeline_rev <-
+    {
+      tr_round = round;
+      tr_phase = current_phase t;
+      tr_max_bits = !max_bits;
+      tr_mean_bits = float_of_int !sum_bits /. float_of_int (max 1 honest_n);
+      tr_active = !active;
+      tr_max_locality = !max_loc;
+      tr_violations = !viols;
+    }
+    :: t.timeline_rev;
+  Array.fill t.round_bits 0 t.a_n 0;
+  Array.iter Hashtbl.reset t.round_peers
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    for p = 0 to t.a_n - 1 do
+      if honest t p then
+        ignore
+          (check t ~party:p ~round:t.last_round ~kind:Total_bits
+             ~observed:(float_of_int t.totals.(p))
+             t.a_budgets.total_bits)
+    done
+  end
+
+(* --- results --- *)
+
+let violations t = List.rev t.violations_rev
+let violation_count t = t.violation_count
+let timeline t = List.rev t.timeline_rev
+let max_round_bits t = t.max_round_bits
+let max_round_locality t = t.max_round_locality
+let rounds_seen t = t.rounds_seen
+let party_total_bits t p = t.totals.(p)
+
+let total_bits_max t =
+  let m = ref 0 in
+  for p = 0 to t.a_n - 1 do
+    if honest t p && t.totals.(p) > !m then m := t.totals.(p)
+  done;
+  !m
+
+let total_locality_max t =
+  let m = ref 0 in
+  for p = 0 to t.a_n - 1 do
+    if honest t p then m := max !m (Hashtbl.length t.total_peers.(p))
+  done;
+  !m
+
+let phase_breakdown t =
+  Hashtbl.fold
+    (fun phase arr acc ->
+      let s = ref 0 in
+      Array.iteri (fun p b -> if honest t p then s := !s + b) arr;
+      if !s > 0 then (phase, !s) :: acc else acc)
+    t.phase_bits []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let worst_offenders ?(top = 5) t =
+  let parties = ref [] in
+  for p = t.a_n - 1 downto 0 do
+    if honest t p then parties := (p, t.viol_of_party.(p), t.totals.(p)) :: !parties
+  done;
+  let ranked =
+    List.sort
+      (fun (_, va, ba) (_, vb, bb) ->
+        if va <> vb then compare vb va else compare bb ba)
+      !parties
+  in
+  List.filteri (fun i _ -> i < top) ranked
+
+(* --- JSONL timeline --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let timeline_jsonl ?protocol t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      (match protocol with
+      | Some p -> Buffer.add_string buf (Printf.sprintf "{\"protocol\":\"%s\"," (json_escape p))
+      | None -> Buffer.add_char buf '{');
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"round\":%d,\"phase\":\"%s\",\"max_bits\":%d,\"mean_bits\":%.1f,\"active\":%d,\"max_locality\":%d,\"violations\":%d}\n"
+           r.tr_round (json_escape r.tr_phase) r.tr_max_bits r.tr_mean_bits
+           r.tr_active r.tr_max_locality r.tr_violations))
+    (timeline t);
+  Buffer.contents buf
+
+(* --- summary --- *)
+
+let pp_budget_line ppf name observed = function
+  | None -> Format.fprintf ppf "  %-18s %12d  (no budget)@." name observed
+  | Some (cv, n, kappa) ->
+    let b = eval cv ~n ~kappa in
+    Format.fprintf ppf "  %-18s %12d  budget %12.0f  [%a]  %s@." name observed b
+      pp_curve cv
+      (if float_of_int observed > b then "VIOLATED" else "ok")
+
+let pp_summary ppf t =
+  let w cv = Option.map (fun c -> (c, t.a_n, t.a_kappa)) cv in
+  Format.fprintf ppf "audit %s: n=%d kappa=%d rounds=%d violations=%d@."
+    t.a_label t.a_n t.a_kappa t.rounds_seen t.violation_count;
+  pp_budget_line ppf "max bits/round" t.max_round_bits (w t.a_budgets.round_bits);
+  pp_budget_line ppf "max locality/round" t.max_round_locality
+    (w t.a_budgets.round_locality);
+  pp_budget_line ppf "max total bits" (total_bits_max t) (w t.a_budgets.total_bits);
+  Format.fprintf ppf "  %-18s %12d@." "cumulative peers" (total_locality_max t);
+  if t.violation_count > 0 then begin
+    Format.fprintf ppf "  worst offenders (party: violations, total bits):@.";
+    List.iter
+      (fun (p, v, bits) ->
+        if v > 0 then Format.fprintf ppf "    party %4d: %5d  %12d@." p v bits)
+      (worst_offenders ~top:5 t)
+  end
+
+(* --- global audit mode --- *)
+
+let global = Atomic.make (Sys.getenv_opt "REPRO_AUDIT" <> None)
+let global_enabled () = Atomic.get global
+let enable_global () = Atomic.set global true
+let disable_global () = Atomic.set global false

@@ -1,0 +1,33 @@
+(** Minimal JSON reader for the repository's own machine-readable outputs
+    (BENCH_results.json, audit timelines). Full RFC 8259 grammar on input;
+    numbers are all represented as [float] ([Int] is not distinguished),
+    and object member order is preserved. Not a serializer — writers build
+    their JSON by hand so the byte-level output stays under their control. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed). The error string
+    carries a character offset. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+(** {1 Accessors} — total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object member lookup (first match). *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+(** [to_int] truncates the underlying float. *)
+
+val to_string : t -> string option
+val to_bool : t -> bool option

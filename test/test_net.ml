@@ -252,8 +252,9 @@ let test_report_json_keys_stable () =
       in
       Alcotest.(check bool) ("key " ^ key) true contains)
     [
-      "max_bytes"; "mean_bytes"; "p50_bytes"; "p95_bytes"; "total_bytes";
-      "max_msgs_sent"; "max_locality"; "mean_locality"; "rounds";
+      "max_bytes"; "mean_bytes"; "p50_bytes"; "p95_bytes"; "p99_bytes";
+      "stddev_bytes"; "total_bytes"; "max_msgs_sent"; "max_locality";
+      "mean_locality"; "rounds";
     ]
 
 let test_breakdown_json_sorted () =

@@ -5,7 +5,9 @@
 open Repro_core
 module Counters = Repro_obs.Counters
 module Trace = Repro_obs.Trace
+module Audit = Repro_obs.Audit
 module Parallel = Repro_util.Parallel
+module Json = Repro_util.Json
 
 (* --- minimal JSON well-formedness checker ---------------------------------
 
@@ -300,6 +302,199 @@ let test_ba_emits_phase_spans () =
   Trace.reset ();
   Trace.set_enabled false
 
+(* --- complexity auditor ---------------------------------------------------
+
+   Unit-level: hand-driven traffic against tight flat budgets, so every
+   violation, timeline field and aggregate is predictable exactly.
+   End-to-end: the Table-1 protocols against their declared budgets — the
+   acceptance contract is that both this-work instantiations stay within
+   budget at n = 64 while naive flooding demonstrably does not. *)
+
+let flat c = Audit.curve ~c ~log_exp:0 ~kappa_exp:0
+
+let tight_budgets =
+  {
+    Audit.round_bits = Some (flat 1.0);
+    round_locality = Some (flat 1.0);
+    total_bits = Some (flat 2.0);
+  }
+
+let test_audit_curve_eval () =
+  let cv = Audit.curve ~c:2.0 ~log_exp:3 ~kappa_exp:1 in
+  Alcotest.(check (float 1e-9)) "2*log^3*k at n=64" 55296.0
+    (Audit.eval cv ~n:64 ~kappa:128);
+  Alcotest.(check (float 1e-9)) "log clamped to 2 at n=2" 2048.0
+    (Audit.eval cv ~n:2 ~kappa:128);
+  Alcotest.(check (float 1e-9)) "ceil(log2 3) = 2" 2048.0
+    (Audit.eval cv ~n:3 ~kappa:128);
+  Alcotest.(check (float 1e-9)) "n=1024 gives log=10" 256000.0
+    (Audit.eval cv ~n:1024 ~kappa:128);
+  Alcotest.(check (float 1e-9)) "kappa exponent" 16384.0
+    (Audit.eval (Audit.curve ~c:1.0 ~log_exp:0 ~kappa_exp:2) ~n:64 ~kappa:128)
+
+let test_audit_accounting () =
+  let a = Audit.create ~label:"unit" ~n:4 ~budgets:tight_budgets () in
+  Audit.with_phase (Some a) "ph" (fun () ->
+      Alcotest.(check string) "phase path" "ph" (Audit.current_phase a);
+      Audit.with_phase (Some a) "inner" (fun () ->
+          Alcotest.(check string) "nested path joins" "ph>inner"
+            (Audit.current_phase a));
+      Alcotest.(check string) "phase restored" "ph" (Audit.current_phase a);
+      (* party 0 sends 8 bits to each of 1 and 2; party 1 receives one. *)
+      Audit.note_send a ~src:0 ~dst:1 ~bits:8;
+      Audit.note_send a ~src:0 ~dst:2 ~bits:8;
+      Audit.note_recv a ~src:0 ~dst:1 ~bits:8;
+      Audit.end_round a ~round:0);
+  Audit.finalize a;
+  Audit.finalize a;
+  (* budgets are 1 bit/round, 1 peer/round, 2 bits total: party 0 breaks
+     all three, party 1 breaks round-bits and total-bits. *)
+  Alcotest.(check int) "five violations" 5 (Audit.violation_count a);
+  let count k =
+    List.length
+      (List.filter (fun v -> v.Audit.v_kind = k) (Audit.violations a))
+  in
+  Alcotest.(check int) "round-bits violations" 2 (count Audit.Round_bits);
+  Alcotest.(check int) "round-locality violations" 1
+    (count Audit.Round_locality);
+  Alcotest.(check int) "total-bits violations (finalize idempotent)" 2
+    (count Audit.Total_bits);
+  (match Audit.violations a with
+  | v :: _ ->
+    Alcotest.(check int) "offender party" 0 v.Audit.v_party;
+    Alcotest.(check int) "offending round" 0 v.Audit.v_round;
+    Alcotest.(check string) "phase recorded" "ph" v.Audit.v_phase;
+    Alcotest.(check bool) "observed exceeds budget" true
+      (v.Audit.v_observed > v.Audit.v_budget)
+  | [] -> Alcotest.fail "no violations recorded");
+  Alcotest.(check int) "max round bits" 16 (Audit.max_round_bits a);
+  Alcotest.(check int) "max round locality" 2 (Audit.max_round_locality a);
+  Alcotest.(check int) "total bits max" 16 (Audit.total_bits_max a);
+  Alcotest.(check int) "party 1 total" 8 (Audit.party_total_bits a 1);
+  Alcotest.(check int) "rounds seen" 1 (Audit.rounds_seen a);
+  Alcotest.(check (list (pair string int))) "phase breakdown" [ ("ph", 24) ]
+    (Audit.phase_breakdown a);
+  (match Audit.worst_offenders ~top:1 a with
+  | [ (p, v, b) ] ->
+    Alcotest.(check (list int)) "worst offender is party 0" [ 0; 3; 16 ]
+      [ p; v; b ]
+  | _ -> Alcotest.fail "worst_offenders shape");
+  match Audit.timeline a with
+  | [ r ] ->
+    Alcotest.(check int) "tr_round" 0 r.Audit.tr_round;
+    Alcotest.(check string) "tr_phase" "ph" r.Audit.tr_phase;
+    Alcotest.(check int) "tr_max_bits" 16 r.Audit.tr_max_bits;
+    Alcotest.(check (float 1e-9)) "tr_mean_bits over honest" 6.0
+      r.Audit.tr_mean_bits;
+    Alcotest.(check int) "tr_active" 2 r.Audit.tr_active;
+    Alcotest.(check int) "tr_max_locality" 2 r.Audit.tr_max_locality;
+    Alcotest.(check int) "tr_violations (round checks only)" 3
+      r.Audit.tr_violations
+  | _ -> Alcotest.fail "timeline shape"
+
+let test_audit_corrupt_masked () =
+  let a = Audit.create ~n:4 ~budgets:tight_budgets () in
+  Audit.set_corrupt a [| true; false; false; false |];
+  Audit.note_send a ~src:0 ~dst:1 ~bits:8;
+  Audit.note_send a ~src:0 ~dst:2 ~bits:8;
+  Audit.note_recv a ~src:0 ~dst:1 ~bits:8;
+  Audit.end_round a ~round:0;
+  Audit.finalize a;
+  (* corrupt party 0's flood is its own business; only honest party 1's
+     round-bits and total-bits overruns count. *)
+  Alcotest.(check int) "only honest violations" 2 (Audit.violation_count a);
+  List.iter
+    (fun v -> Alcotest.(check int) "honest offender" 1 v.Audit.v_party)
+    (Audit.violations a)
+
+let test_audit_budget_pass () =
+  List.iter
+    (fun proto ->
+      let row, a = Runner.run_audited ~protocol:proto ~n:64 ~beta:0.1 ~seed:1 in
+      Alcotest.(check bool) (row.Runner.r_protocol ^ " agreement") true
+        row.Runner.r_ok;
+      Alcotest.(check int) (row.Runner.r_protocol ^ " within budget") 0
+        (Audit.violation_count a))
+    [ Runner.This_work_owf; Runner.This_work_snark ]
+
+let test_audit_budget_fail () =
+  let _row, a =
+    Runner.run_audited ~protocol:Runner.Naive_boost ~n:64 ~beta:0.1 ~seed:1
+  in
+  Alcotest.(check bool) "naive flooding violates" true
+    (Audit.violation_count a > 0);
+  let has k = List.exists (fun v -> v.Audit.v_kind = k) (Audit.violations a) in
+  Alcotest.(check bool) "round-bits budget broken" true (has Audit.Round_bits);
+  Alcotest.(check bool) "round-locality budget broken" true
+    (has Audit.Round_locality);
+  Alcotest.(check bool) "total-bits budget broken" true (has Audit.Total_bits);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "every violation exceeds its budget" true
+        (v.Audit.v_observed > v.Audit.v_budget))
+    (Audit.violations a)
+
+let test_audit_timeline_jsonl () =
+  let _row, a =
+    Runner.run_audited ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1 ~seed:1
+  in
+  let lines =
+    String.split_on_char '\n'
+      (String.trim (Audit.timeline_jsonl ~protocol:"snark" a))
+  in
+  Alcotest.(check int) "one line per round" (Audit.rounds_seen a)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line is one JSON value" true
+        (json_well_formed line);
+      match Json.parse line with
+      | Error e -> Alcotest.fail ("timeline line: " ^ e)
+      | Ok v ->
+        List.iter
+          (fun key ->
+            Alcotest.(check bool) ("key " ^ key) true
+              (Json.member key v <> None))
+          [
+            "protocol"; "round"; "phase"; "max_bits"; "mean_bits"; "active";
+            "max_locality"; "violations";
+          ])
+    lines
+
+(* Same pool-independence contract as the deterministic counters: audit
+   results are a function of the logical traffic only. *)
+let test_audit_pool_independent () =
+  let saved = Parallel.domains () in
+  let run_with domains =
+    Parallel.set_domains domains;
+    let _row, a =
+      Runner.run_audited ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1
+        ~seed:5
+    in
+    (Audit.violation_count a, Audit.timeline_jsonl a)
+  in
+  let one = run_with 1 in
+  let four = run_with 4 in
+  Parallel.set_domains saved;
+  Alcotest.(check int) "violation count pool-independent" (fst one) (fst four);
+  Alcotest.(check string) "timeline pool-independent" (snd one) (snd four)
+
+(* Conservation: the per-tag breakdown in every Table-1 row partitions the
+   network-wide sent bytes — nothing is dropped or double-counted. *)
+let test_breakdown_conserves_total () =
+  let rows = Runner.table1_rows ~ns:[ 32 ] () in
+  Alcotest.(check int) "all protocols present"
+    (List.length Runner.all_protocols)
+    (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Runner.r_protocol ^ " has breakdown") true
+        (r.Runner.r_breakdown <> []);
+      let sum = List.fold_left (fun acc (_, b) -> acc + b) 0 r.Runner.r_breakdown in
+      Alcotest.(check int) (r.Runner.r_protocol ^ " breakdown sums to total")
+        r.Runner.r_total_bytes sum)
+    rows
+
 let suite =
   [
     Alcotest.test_case "json checker sanity" `Quick test_json_checker_sanity;
@@ -311,4 +506,14 @@ let suite =
     Alcotest.test_case "counters pool-independent" `Quick
       test_counters_pool_independent;
     Alcotest.test_case "ba emits phase spans" `Quick test_ba_emits_phase_spans;
+    Alcotest.test_case "audit curve eval" `Quick test_audit_curve_eval;
+    Alcotest.test_case "audit accounting" `Quick test_audit_accounting;
+    Alcotest.test_case "audit corrupt masked" `Quick test_audit_corrupt_masked;
+    Alcotest.test_case "audit budget pass" `Quick test_audit_budget_pass;
+    Alcotest.test_case "audit budget fail" `Quick test_audit_budget_fail;
+    Alcotest.test_case "audit timeline jsonl" `Quick test_audit_timeline_jsonl;
+    Alcotest.test_case "audit pool-independent" `Quick
+      test_audit_pool_independent;
+    Alcotest.test_case "breakdown conserves total" `Quick
+      test_breakdown_conserves_total;
   ]

@@ -152,6 +152,32 @@ let prop_bitset_roundtrip =
       | Some b' -> Bitset.to_list b = Bitset.to_list b'
       | None -> false)
 
+let test_json_parse () =
+  match Json.parse {| {"a": 1, "b": [true, null, "x\u00e9\n"], "c": -2.5e2} |} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check bool) "int member" true
+      (Option.bind (Json.member "a" v) Json.to_int = Some 1);
+    (match Option.bind (Json.member "b" v) Json.to_list with
+    | Some [ t; nul; s ] ->
+      Alcotest.(check bool) "bool" true (Json.to_bool t = Some true);
+      Alcotest.(check bool) "null" true (nul = Json.Null);
+      Alcotest.(check bool) "string escapes decode" true
+        (Json.to_string s = Some "x\xc3\xa9\n")
+    | _ -> Alcotest.fail "array shape");
+    Alcotest.(check bool) "scientific number" true
+      (Option.bind (Json.member "c" v) Json.to_float = Some (-250.0));
+    Alcotest.(check bool) "missing member is None" true
+      (Json.member "zz" v = None)
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted malformed: " ^ s)
+      | Error e -> Alcotest.(check bool) "error has text" true (e <> ""))
+    [ ""; "{"; "{} extra"; "[1,]"; "tru"; "{\"a\"}"; "\"\\q\"" ]
+
 let test_tablefmt () =
   let t =
     Tablefmt.create ~title:"t" ~headers:[ "a"; "b" ]
@@ -201,6 +227,9 @@ let suite =
     Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
     Alcotest.test_case "bitset" `Quick test_bitset;
     Alcotest.test_case "bitset encode" `Quick test_bitset_encode;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json rejects malformed" `Quick
+      test_json_rejects_malformed;
     Alcotest.test_case "tablefmt" `Quick test_tablefmt;
     Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
     Alcotest.test_case "ascii plot empty" `Quick test_ascii_plot_empty;

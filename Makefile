@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-compare audit trace clean
+.PHONY: build test bench bench-smoke bench-compare audit attack trace clean
 
 build:
 	dune build
@@ -32,6 +32,15 @@ audit: build
 	python3 -c "import json,sys; [json.loads(l) for l in open('audit_timeline.jsonl')]" && \
 	  echo "audit_timeline.jsonl: valid JSONL ($$(wc -l < audit_timeline.jsonl) rounds)"
 
+# <30s attack-matrix smoke (E16): every catalogue strategy against both
+# pipeline protocols. Exits non-zero if any beta < 1/3 cell breaks
+# agreement/validity or the beta >= 1/3 sanity row fails to fail, then
+# checks the repro-attack/1 report parses.
+attack: build
+	./_build/default/bin/ba_sim.exe attack -n 40 --report ATTACK_report.json
+	python3 -m json.tool ATTACK_report.json > /dev/null && \
+	  echo "ATTACK_report.json: valid JSON"
+
 # Record a Chrome trace of one small BA run and check it is well-formed
 # JSON with at least one complete ("X") event. Open trace.json in
 # https://ui.perfetto.dev to browse it.
@@ -43,4 +52,5 @@ trace: build
 
 clean:
 	dune clean
-	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl
+	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl \
+	  ATTACK_report.json

@@ -3,6 +3,7 @@
    Subcommands:
      run        one protocol execution with a summary line
      audit      every protocol vs its declared polylog complexity budgets
+     attack     the seeded adversary-strategy matrix (E16)
      table1     the measured Table 1 comparison
      sweep      scaling sweep with fitted growth exponents
      games      the Fig. 1 / Fig. 2 security games over the attack portfolio
@@ -257,6 +258,113 @@ let audit_cmd =
           budgets; non-zero exit if a this-work protocol exceeds its own.")
     Term.(const action $ audit_n_arg $ beta_arg $ seed_arg $ timeline_out_arg)
 
+(* --- attack --- *)
+
+let attack_n_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "n" ] ~docv:"N" ~doc:"Number of parties per matrix cell.")
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1 ]
+    & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Seeds swept per cell.")
+
+let report_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable attack report (schema repro-attack/1, \
+           byte-identical across reruns with the same arguments).")
+
+let strategies_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "strategies" ] ~docv:"S1,S2,..."
+        ~doc:
+          "Subset of catalogue strategies to sweep (default: all; see docs/\
+           ADVERSARIES.md for the catalogue).")
+
+let betas_arg =
+  Arg.(
+    value
+    & opt (some (list float)) None
+    & info [ "betas" ] ~docv:"B1,B2,..."
+        ~doc:
+          "In-model corruption rates the gate asserts must pass (default \
+           0,1/16,1/8 - the seed-robust range at simulation scale, see \
+           EXPERIMENTS.md E16).")
+
+let sanity_betas_arg =
+  Arg.(
+    value
+    & opt (some (list float)) None
+    & info [ "sanity-betas" ] ~docv:"B1,B2,..."
+        ~doc:
+          "Out-of-model rates annotated may-fail; at least one such cell \
+           must actually fail or the run exits non-zero (default 0.45).")
+
+let attack_cmd =
+  let action n seeds report_out strategies betas sanity_betas =
+    let m = Runner.attack_matrix ?betas ?sanity_betas ?strategies ~seeds ~n () in
+    Repro_util.Tablefmt.print (Runner.attack_table m);
+    Printf.printf
+      "matrix: %d cells, %d strategies, protocols: %s\n"
+      (List.length m.Runner.am_cells)
+      (List.length m.Runner.am_strategies)
+      (String.concat ", " m.Runner.am_protocols);
+    let broken =
+      List.filter
+        (fun c -> not (c.Runner.ac_ok || c.Runner.ac_expect_fail))
+        m.Runner.am_cells
+    in
+    List.iter
+      (fun c ->
+        Printf.printf
+          "BROKEN: %s vs %s beta=%.3f seed=%d (agreed=%b decided=%.2f \
+           valid=%b)\n"
+          c.Runner.ac_protocol c.Runner.ac_strategy c.Runner.ac_beta
+          c.Runner.ac_seed c.Runner.ac_agreed c.Runner.ac_decided
+          c.Runner.ac_valid)
+      broken;
+    (match report_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Runner.attack_matrix_json m);
+      close_out oc;
+      Printf.printf "report written to %s\n" file
+    | None -> ());
+    if m.Runner.am_gate_ok then
+      print_endline "gate: all beta < 1/3 cells reached agreement+validity"
+    else
+      Printf.printf "gate: %d beta < 1/3 cell(s) BROKE agreement/validity\n"
+        (List.length broken);
+    if m.Runner.am_sanity_betas <> [] then
+      Printf.printf
+        "teeth: beta >= 1/3 sanity rows %s\n"
+        (if m.Runner.am_teeth then
+           "detected disagreement/non-decision (harness has teeth)"
+         else "all passed - DETECTION SELF-CHECK FAILED");
+    (* Non-zero exit if an in-model cell broke, or if the sanity rows never
+       demonstrated a detectable failure (the checks must have teeth). *)
+    if
+      (not m.Runner.am_gate_ok)
+      || (m.Runner.am_sanity_betas <> [] && not m.Runner.am_teeth)
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Sweep the composable adversary portfolio against the Fig. 3 \
+          pipeline protocols (E16); non-zero exit if any beta < 1/3 cell \
+          breaks agreement/validity.")
+    Term.(const action $ attack_n_arg $ seeds_arg $ report_out_arg
+          $ strategies_arg $ betas_arg $ sanity_betas_arg)
+
 (* --- table1 --- *)
 
 let table1_cmd =
@@ -476,5 +584,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; audit_cmd; table1_cmd; sweep_cmd; games_cmd; boost_cmd;
-            broadcast_cmd; attacks_cmd; breakdown_cmd ]))
+          [ run_cmd; audit_cmd; attack_cmd; table1_cmd; sweep_cmd; games_cmd;
+            boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd ]))

@@ -240,6 +240,221 @@ let run_under_attack ~strategy ~n ~beta ~seed : row =
          (if r.Balanced_ba.tree_good then "" else " tree-degraded"))
     ~breakdown:r.Balanced_ba.breakdown
 
+(* --- E16: the seeded attack matrix ---
+
+   Sweeps the Fig. 3 pipeline protocols against every strategy of the
+   composable adversary portfolio (lib/adversary) at several corruption
+   rates and seeds, asserting agreement + validity on every honest output.
+   Cells at beta >= 1/3 are sanity rows annotated expected-fail: the
+   protocol is outside its corruption model there, and at least one such
+   cell breaking is the harness's proof that its checks have teeth. *)
+
+module Strategy = Repro_adversary.Strategy
+
+type attack_cell = {
+  ac_protocol : string;
+  ac_strategy : string;
+  ac_n : int;
+  ac_beta : float;
+  ac_seed : int;
+  ac_agreed : bool;
+  ac_decided : float;
+  ac_valid : bool;
+  ac_ok : bool; (* agreed, >95% of honest parties decided, validity held *)
+  ac_expect_fail : bool; (* beta >= 1/3 sanity row: failure is in-model *)
+}
+
+type attack_matrix = {
+  am_n : int;
+  am_betas : float list; (* cells that must pass *)
+  am_sanity_betas : float list; (* annotated beta >= 1/3 rows *)
+  am_seeds : int list;
+  am_protocols : string list;
+  am_strategies : string list;
+  am_cells : attack_cell list; (* deterministic input order *)
+  am_gate_ok : bool; (* every non-sanity cell is ok *)
+  am_teeth : bool; (* some sanity cell actually failed *)
+}
+
+(* The matrix covers the protocols whose adversary hook threads through
+   every phase of the pipeline (Balanced_ba's [config.adversary]). *)
+let attack_protocols = [ This_work_owf; This_work_snark ]
+
+let c_attack_cells = Repro_obs.Counters.make "attack.cells"
+
+let run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail =
+  let strategy =
+    match Strategy.find ~n ~seed strategy_name with
+    | Some s -> s
+    | None -> invalid_arg ("attack matrix: unknown strategy " ^ strategy_name)
+  in
+  let adversary = Strategy.instantiate strategy ~seed in
+  let rng = Rng.create seed in
+  let corrupt = corrupt_set rng ~n ~beta in
+  let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+  let cfg = Balanced_ba.default_config ~adversary ~n ~corrupt ~inputs ~seed () in
+  let (r : Balanced_ba.result) =
+    match protocol with
+    | This_work_owf -> Ba_owf.run cfg
+    | This_work_snark -> Ba_snark.run cfg
+    | _ -> invalid_arg "attack matrix: pipeline protocols only (owf/snark)"
+  in
+  let ok =
+    r.Balanced_ba.agreed
+    && r.Balanced_ba.decided_fraction > 0.95
+    && r.Balanced_ba.valid
+  in
+  Repro_obs.Counters.bump c_attack_cells;
+  if (not ok) && not expect_fail then
+    Repro_obs.Counters.bump
+      (Repro_obs.Counters.make ("attack.violations." ^ strategy_name));
+  {
+    ac_protocol = protocol_name protocol;
+    ac_strategy = strategy_name;
+    ac_n = n;
+    ac_beta = beta;
+    ac_seed = seed;
+    ac_agreed = r.Balanced_ba.agreed;
+    ac_decided = r.Balanced_ba.decided_fraction;
+    ac_valid = r.Balanced_ba.valid;
+    ac_ok = ok;
+    ac_expect_fail = expect_fail;
+  }
+
+let attack_matrix ?(betas = [ 0.0; 0.0625; 0.125 ]) ?(sanity_betas = [ 0.45 ])
+    ?(seeds = [ 1 ]) ?strategies ~n () =
+  let strategies =
+    match strategies with
+    | Some ss -> ss
+    | None -> List.map Strategy.name (Strategy.catalogue ~n ~seed:1)
+  in
+  (* Deterministic cell order: seed-major, then beta (required before
+     sanity), strategy, protocol. Cells are independent simulations keyed
+     only by their own parameters, so they fan out on the domain pool with
+     bit-identical results at any pool size. *)
+  let cells =
+    List.concat_map
+      (fun seed ->
+        List.concat_map
+          (fun (beta, expect_fail) ->
+            List.concat_map
+              (fun strategy_name ->
+                List.map
+                  (fun protocol -> (protocol, strategy_name, beta, seed, expect_fail))
+                  attack_protocols)
+              strategies)
+          (List.map (fun b -> (b, false)) betas
+          @ List.map (fun b -> (b, true)) sanity_betas))
+      seeds
+  in
+  let results =
+    Parallel.map_list ~chunk:1
+      (fun (protocol, strategy_name, beta, seed, expect_fail) ->
+        run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail)
+      cells
+  in
+  {
+    am_n = n;
+    am_betas = betas;
+    am_sanity_betas = sanity_betas;
+    am_seeds = seeds;
+    am_protocols = List.map protocol_name attack_protocols;
+    am_strategies = strategies;
+    am_cells = results;
+    am_gate_ok =
+      List.for_all (fun c -> c.ac_ok || c.ac_expect_fail) results;
+    am_teeth =
+      List.exists (fun c -> c.ac_expect_fail && not c.ac_ok) results;
+  }
+
+(* schema repro-attack/1: readable back via Repro_util.Json; the writer is
+   hand-rolled (like bench/main.ml) so byte-identical reruns stay under our
+   control — the determinism test diffs the raw string. *)
+let attack_matrix_json (m : attack_matrix) =
+  let buf = Buffer.create 4096 in
+  let str s = Printf.sprintf "\"%s\"" s in
+  let strs l = "[" ^ String.concat "," (List.map str l) ^ "]" in
+  let floats l =
+    "[" ^ String.concat "," (List.map (Printf.sprintf "%.4f") l) ^ "]"
+  in
+  let ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"repro-attack/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"n\": %d,\n" m.am_n);
+  Buffer.add_string buf (Printf.sprintf "  \"betas\": %s,\n" (floats m.am_betas));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sanity_betas\": %s,\n" (floats m.am_sanity_betas));
+  Buffer.add_string buf (Printf.sprintf "  \"seeds\": %s,\n" (ints m.am_seeds));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"protocols\": %s,\n" (strs m.am_protocols));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"strategies\": %s,\n" (strs m.am_strategies));
+  Buffer.add_string buf "  \"cells\": [\n";
+  let last = List.length m.am_cells - 1 in
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"protocol\":%s,\"strategy\":%s,\"n\":%d,\"beta\":%.4f,\"seed\":%d,\"agreed\":%b,\"decided\":%.3f,\"valid\":%b,\"ok\":%b,\"expect\":%s}%s\n"
+           (str c.ac_protocol) (str c.ac_strategy) c.ac_n c.ac_beta c.ac_seed
+           c.ac_agreed c.ac_decided c.ac_valid c.ac_ok
+           (str (if c.ac_expect_fail then "may-fail" else "pass"))
+           (if i = last then "" else ",")))
+    m.am_cells;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"gate_ok\": %b,\n" m.am_gate_ok);
+  Buffer.add_string buf (Printf.sprintf "  \"teeth\": %b\n" m.am_teeth);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* One table row per (strategy, beta): the per-protocol columns count ok
+   cells across seeds, so the rendering stays compact at any seed count. *)
+let attack_table (m : attack_matrix) =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "attack matrix: n=%d, %d seed(s) (ok cells / cells; x = broken)"
+           m.am_n (List.length m.am_seeds))
+      ~headers:
+        ([ "strategy"; "beta"; "expect" ]
+        @ m.am_protocols)
+      ~aligns:
+        ([ Tablefmt.Left; Right; Left ]
+        @ List.map (fun _ -> Tablefmt.Right) m.am_protocols)
+  in
+  let betas =
+    List.map (fun b -> (b, false)) m.am_betas
+    @ List.map (fun b -> (b, true)) m.am_sanity_betas
+  in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun (beta, expect_fail) ->
+          let cell protocol =
+            let mine =
+              List.filter
+                (fun c ->
+                  c.ac_strategy = strategy && c.ac_beta = beta
+                  && c.ac_protocol = protocol
+                  && c.ac_expect_fail = expect_fail)
+                m.am_cells
+            in
+            let ok = List.length (List.filter (fun c -> c.ac_ok) mine) in
+            Printf.sprintf "%d/%d%s" ok (List.length mine)
+              (if ok < List.length mine then " x" else "")
+          in
+          Tablefmt.add_row t
+            ([
+               strategy;
+               Printf.sprintf "%.3f" beta;
+               (if expect_fail then "may-fail" else "pass");
+             ]
+            @ List.map cell m.am_protocols))
+        betas)
+    m.am_strategies;
+  t
+
 (* --- Table 1 (measured): all protocols at a fixed n --- *)
 
 (* Every (n, protocol) cell is an independent simulation seeded only by its

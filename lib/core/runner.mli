@@ -64,6 +64,73 @@ val run_under_attack :
   row
 (** E14: the full SNARK-instantiated protocol against that adversary. *)
 
+(** {1 E16: the seeded attack matrix} *)
+
+type attack_cell = {
+  ac_protocol : string;
+  ac_strategy : string;  (** a {!Repro_adversary.Strategy.catalogue} name *)
+  ac_n : int;
+  ac_beta : float;
+  ac_seed : int;
+  ac_agreed : bool;
+  ac_decided : float;
+  ac_valid : bool;
+  ac_ok : bool;  (** agreed, >95% honest decided, validity held *)
+  ac_expect_fail : bool;  (** beta >= 1/3 sanity row *)
+}
+
+type attack_matrix = {
+  am_n : int;
+  am_betas : float list;
+  am_sanity_betas : float list;
+  am_seeds : int list;
+  am_protocols : string list;
+  am_strategies : string list;
+  am_cells : attack_cell list;  (** deterministic input order *)
+  am_gate_ok : bool;  (** every non-sanity cell is ok *)
+  am_teeth : bool;  (** some sanity cell actually failed: checks have teeth *)
+}
+
+val attack_protocols : protocol list
+(** The pipeline protocols the matrix covers (owf and snark Fig. 3). *)
+
+val run_attack_cell :
+  protocol:protocol ->
+  strategy_name:string ->
+  n:int ->
+  beta:float ->
+  seed:int ->
+  expect_fail:bool ->
+  attack_cell
+(** One cell: the full BA protocol against one instantiated strategy. Every
+    non-sanity failure bumps the [attack.violations.<strategy>] counter. *)
+
+val attack_matrix :
+  ?betas:float list ->
+  ?sanity_betas:float list ->
+  ?seeds:int list ->
+  ?strategies:string list ->
+  n:int ->
+  unit ->
+  attack_matrix
+(** Sweep {!attack_protocols} x strategies x (betas @ sanity_betas) x seeds
+    on the domain pool. Defaults: betas [0; 1/16; 1/8] (the highest rate the
+    scaled-down committees survive across seeds: by 3/16–1/4 the corrupt-set
+    draw alone sinks some seeds even against a silent adversary — see
+    EXPERIMENTS.md E10/E16),
+    one beta >= 1/3 sanity row at 0.45, seed 1, the full
+    {!Repro_adversary.Strategy.catalogue}. Deterministic: same arguments
+    give an identical matrix (and identical {!attack_matrix_json} bytes)
+    for any [REPRO_DOMAINS] pool size. *)
+
+val attack_matrix_json : attack_matrix -> string
+(** Machine-readable report, schema [repro-attack/1]; parses back with
+    {!Repro_util.Json}. Byte-identical across reruns with equal inputs. *)
+
+val attack_table : attack_matrix -> Repro_util.Tablefmt.t
+(** Compact rendering: one row per (strategy, beta), per-protocol ok
+    counts across seeds. *)
+
 val table1_rows :
   ?ns:int list -> ?beta:float -> ?seed:int -> unit -> row list
 (** The raw (n, protocol) cells behind {!table1}, in deterministic input

@@ -24,6 +24,7 @@ type t = {
   mutable staged : Wire.msg list; (* sent this round, reversed *)
   mutable inboxes : Wire.msg list array; (* deliveries for the current round *)
   mutable round : int;
+  mutable in_adv_step : bool; (* inside the adversary's turn of a round *)
 }
 
 type handler = round:int -> inbox:Wire.msg list -> unit
@@ -51,6 +52,7 @@ let create ~n ~corrupt =
     staged = [];
     inboxes = Array.make n [];
     round = 0;
+    in_adv_step = false;
   }
 
 let n t = t.n
@@ -73,6 +75,10 @@ let h_msg_bytes = Repro_obs.Counters.histogram "net.msg_bytes"
 let send t ~src:s ~dst ~tag payload =
   if s < 0 || s >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: party index out of range";
+  (* Channels are authenticated (paper Sec. 1): the adversary speaks only
+     for the corrupt set, never in an honest party's name. *)
+  if t.in_adv_step && not t.corrupt.(s) then
+    invalid_arg "Network.send: adversary send from honest src rejected";
   let m = { Wire.src = s; dst; tag; payload } in
   Metrics.note_send t.metrics m;
   Repro_obs.Counters.observe h_msg_bytes (Bytes.length payload);
@@ -116,7 +122,11 @@ let step t ?(adversary = null_adversary) handlers =
       | Some handler when is_honest t i -> handler ~round:t.round ~inbox:t.inboxes.(i)
       | _ -> ())
     handlers;
-  adversary.adv_step t ~round:t.round ~honest_staged:(staged_honest t);
+  t.in_adv_step <- true;
+  Fun.protect
+    ~finally:(fun () -> t.in_adv_step <- false)
+    (fun () ->
+      adversary.adv_step t ~round:t.round ~honest_staged:(staged_honest t));
   deliver t;
   (* Receives of round r's sends are charged to round r, keeping per-round
      send/recv conservation; the auditor closes the round after delivery. *)

@@ -37,6 +37,11 @@ val honest_parties : t -> int list
 val corrupt_parties : t -> int list
 
 val send : t -> src:int -> dst:int -> tag:string -> bytes -> unit
+(** Stage one message for delivery next round. Raises [Invalid_argument] if
+    [src]/[dst] is out of range, or — channels being authenticated — if the
+    call happens during the adversary's turn of a round with an honest
+    [src]: the adversary can never impersonate an honest party. *)
+
 val send_many : t -> src:int -> dsts:int list -> tag:string -> bytes -> unit
 
 val inbox : t -> int -> Wire.msg list

@@ -1,76 +1,25 @@
 (* End-to-end BA under *active* network adversaries: corrupt parties inject
    traffic into every phase of the Fig. 3 pipeline (committee BA, coin
    toss, signing, aggregation, dissemination, boost). The protocol's
-   decoders, majority rules and SRDS verification must shrug all of it off. *)
+   decoders, majority rules and SRDS verification must shrug all of it off.
+
+   The adversaries come from the composable strategy library
+   (lib/adversary); the ad-hoc chaff/equivocator adversaries that used to
+   live here are now Strategy.replay_chaff and Strategy.equivocate. *)
 
 open Repro_core
-module Rng = Repro_util.Rng
-module Network = Repro_net.Network
-module Wire = Repro_net.Wire
+module Strategy = Repro_adversary.Strategy
 
 module Ba_owf = Balanced_ba.Make (Srds_owf)
 module Ba_snark = Balanced_ba.Make (Srds_snark)
 
-(* Corrupt parties replay every honest message back at a random honest
-   party under the same tag (replay/echo chaff), plus send undecodable
-   junk. Bounded per round to keep runtime sane. *)
-let chaff_adversary ~seed =
-  let rng = Rng.create (seed * 31) in
-  {
-    Network.adv_name = "chaff";
-    adv_step =
-      (fun net ~round:_ ~honest_staged ->
-        let corrupt = Network.corrupt_parties net in
-        let n = Network.n net in
-        match corrupt with
-        | [] -> ()
-        | _ ->
-          List.iteri
-            (fun k (m : Wire.msg) ->
-              if k < 40 then begin
-                let src = List.nth corrupt (Rng.int rng (List.length corrupt)) in
-                (* replay the honest payload at a different destination *)
-                Network.send net ~src ~dst:(Rng.int rng n) ~tag:m.Wire.tag
-                  m.Wire.payload;
-                (* and some junk under the same tag *)
-                Network.send net ~src ~dst:(Rng.int rng n) ~tag:m.Wire.tag
-                  (Rng.bytes rng 24)
-              end)
-            honest_staged);
-  }
-
-(* Equivocator: corrupt parties send conflicting 1-byte votes to everyone
-   under every tag seen this round — stress for the committee machinery. *)
-let equivocator_adversary ~seed =
-  let rng = Rng.create (seed * 17) in
-  {
-    Network.adv_name = "equivocator";
-    adv_step =
-      (fun net ~round:_ ~honest_staged ->
-        let corrupt = Network.corrupt_parties net in
-        let tags =
-          List.sort_uniq compare
-            (List.filteri (fun i _ -> i < 5)
-               (List.map (fun (m : Wire.msg) -> m.Wire.tag) honest_staged))
-        in
-        let n = Network.n net in
-        List.iter
-          (fun src ->
-            List.iter
-              (fun tag ->
-                for dst = 0 to min (n - 1) 30 do
-                  Network.send net ~src ~dst ~tag
-                    (Bytes.make 1 (Char.chr (Rng.int rng 3)))
-                done)
-              tags)
-          corrupt);
-  }
-
-let run_with_adversary run_fn ~label ~adversary ~n ~t ~seed =
-  let rng = Rng.create seed in
-  let corrupt = Rng.subset rng ~n ~size:t in
+let run_with_strategy run_fn ~label ~strategy ~n ~t ~seed =
+  let rng = Repro_util.Rng.create seed in
+  let corrupt = Repro_util.Rng.subset rng ~n ~size:t in
   let cfg =
-    Balanced_ba.default_config ~adversary ~n ~corrupt
+    Balanced_ba.default_config
+      ~adversary:(Strategy.instantiate strategy ~seed)
+      ~n ~corrupt
       ~inputs:(Array.init n (fun i -> i mod 2 = 0))
       ~seed ()
   in
@@ -83,20 +32,48 @@ let run_with_adversary run_fn ~label ~adversary ~n ~t ~seed =
   Alcotest.(check bool) (label ^ ": valid") true r.Balanced_ba.valid
 
 let test_owf_under_chaff () =
-  run_with_adversary Ba_owf.run ~label:"owf+chaff"
-    ~adversary:(chaff_adversary ~seed:21) ~n:72 ~t:7 ~seed:21
+  run_with_strategy Ba_owf.run ~label:"owf+chaff"
+    ~strategy:(Strategy.replay_chaff ()) ~n:72 ~t:7 ~seed:21
 
 let test_snark_under_chaff () =
-  run_with_adversary Ba_snark.run ~label:"snark+chaff"
-    ~adversary:(chaff_adversary ~seed:22) ~n:72 ~t:7 ~seed:22
+  run_with_strategy Ba_snark.run ~label:"snark+chaff"
+    ~strategy:(Strategy.replay_chaff ()) ~n:72 ~t:7 ~seed:22
 
 let test_snark_under_equivocation () =
-  run_with_adversary Ba_snark.run ~label:"snark+equiv"
-    ~adversary:(equivocator_adversary ~seed:23) ~n:72 ~t:7 ~seed:23
+  run_with_strategy Ba_snark.run ~label:"snark+equiv"
+    ~strategy:Strategy.equivocate ~n:72 ~t:7 ~seed:23
 
 let test_owf_under_equivocation () =
-  run_with_adversary Ba_owf.run ~label:"owf+equiv"
-    ~adversary:(equivocator_adversary ~seed:24) ~n:72 ~t:7 ~seed:24
+  run_with_strategy Ba_owf.run ~label:"owf+equiv"
+    ~strategy:Strategy.equivocate ~n:72 ~t:7 ~seed:24
+
+(* The aggregation-tree attack aims at exactly the phase the SRDS range
+   checks defend; the certified output must be unaffected. *)
+let test_snark_under_bad_aggregate () =
+  run_with_strategy Ba_snark.run ~label:"snark+bad-aggregate"
+    ~strategy:Strategy.bad_aggregate ~n:72 ~t:7 ~seed:25
+
+(* Tree-aware starvation of the kill-leaves victim set, plus a budgeted
+   composite of every traffic-injecting primitive — the combinators under
+   end-to-end load. *)
+let test_owf_under_withhold () =
+  let strategy =
+    Strategy.withhold
+      ~victims:
+        (Strategy.tree_victims ~n:72 ~seed:26
+           ~strategy:Repro_aetree.Attacks.Kill_leaves ~budget:9)
+  in
+  run_with_strategy Ba_owf.run ~label:"owf+withhold" ~strategy ~n:72 ~t:7
+    ~seed:26
+
+let test_snark_under_budgeted_composite () =
+  let strategy =
+    Strategy.budgeted 64
+      (Strategy.compose
+         [ Strategy.equivocate; Strategy.replay_chaff (); Strategy.bad_aggregate ])
+  in
+  run_with_strategy Ba_snark.run ~label:"snark+composite" ~strategy ~n:72 ~t:7
+    ~seed:27
 
 let suite =
   [
@@ -104,4 +81,8 @@ let suite =
     Alcotest.test_case "snark vs chaff adversary" `Slow test_snark_under_chaff;
     Alcotest.test_case "snark vs equivocator" `Slow test_snark_under_equivocation;
     Alcotest.test_case "owf vs equivocator" `Slow test_owf_under_equivocation;
+    Alcotest.test_case "snark vs bad-aggregate" `Slow test_snark_under_bad_aggregate;
+    Alcotest.test_case "owf vs withhold" `Slow test_owf_under_withhold;
+    Alcotest.test_case "snark vs budgeted composite" `Slow
+      test_snark_under_budgeted_composite;
   ]

@@ -13,6 +13,7 @@ let () =
       ("protocol", Test_protocol.suite);
       ("core-misc", Test_core_misc.suite);
       ("attacks", Test_attacks.suite);
+      ("adversary", Test_adversary.suite);
       ("adversarial-ba", Test_adversarial_ba.suite);
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);

@@ -78,6 +78,44 @@ let test_rushing_adversary_sees_staged () =
   (* both original and echo arrive in round 1 *)
   Alcotest.(check int) "both delivered" 2 (List.length !got)
 
+let test_adversary_cannot_impersonate () =
+  (* Channels are authenticated: during the adversary's turn, a send with
+     an honest src must be rejected; corrupt srcs still go through. *)
+  let net = Network.create ~n:4 ~corrupt:[ 3 ] in
+  let adversary =
+    {
+      Network.adv_name = "imposter";
+      adv_step =
+        (fun net ~round ~honest_staged:_ ->
+          if round = 0 then begin
+            Alcotest.check_raises "honest src rejected"
+              (Invalid_argument
+                 "Network.send: adversary send from honest src rejected")
+              (fun () ->
+                Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.of_string "x"));
+            Network.send net ~src:3 ~dst:1 ~tag:"t" (Bytes.of_string "y")
+          end);
+    }
+  in
+  let got = ref [] in
+  let handler p ~round:_ ~inbox =
+    if p = 1 then
+      got :=
+        !got @ List.map (fun (m : Wire.msg) -> (m.src, Bytes.to_string m.payload)) inbox
+  in
+  Network.run net ~adversary ~rounds:2
+    (Array.init 4 (fun p -> if p = 3 then None else Some (handler p)));
+  (* the impersonation was rejected, the corrupt-src send delivered *)
+  Alcotest.(check (list (pair int string))) "only corrupt mail" [ (3, "y") ] !got;
+  (* outside the adversary's turn honest sends still work (next round) *)
+  let handler2 p ~round ~inbox =
+    ignore inbox;
+    if p = 0 && round = 2 then
+      Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.of_string "later")
+  in
+  Network.run net ~adversary ~rounds:1
+    (Array.init 4 (fun p -> if p = 3 then None else Some (handler2 p)))
+
 let test_flush_drops_in_flight () =
   let net = Network.create ~n:2 ~corrupt:[] in
   let received = ref 0 in
@@ -282,6 +320,8 @@ let suite =
     Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
     Alcotest.test_case "report excludes corrupt" `Quick test_report_excludes_corrupt;
     Alcotest.test_case "rushing adversary" `Quick test_rushing_adversary_sees_staged;
+    Alcotest.test_case "adversary cannot impersonate" `Quick
+      test_adversary_cannot_impersonate;
     Alcotest.test_case "flush" `Quick test_flush_drops_in_flight;
     Alcotest.test_case "engine multiplexing" `Quick test_engine_multiplexing;
     Alcotest.test_case "engine isolation" `Quick test_engine_instance_isolation;

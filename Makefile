@@ -1,4 +1,5 @@
-.PHONY: build test bench bench-smoke bench-compare audit attack trace clean
+.PHONY: build test bench bench-smoke bench-compare audit attack trace \
+  scale scale-smoke check clean
 
 build:
 	dune build
@@ -50,7 +51,37 @@ trace: build
 	grep -q '"ph":"X"' trace.json && \
 	  echo "trace.json: valid Chrome trace ($$(grep -c '"ph":"X"' trace.json) events)"
 
+# E17 large-n scale sweep: the Fig. 3 pipeline up to n = 4096 on the sparse
+# engine, baselines capped where their simulation cost turns quadratic.
+# Exits non-zero if a this-work curve breaks its declared budget or no
+# baseline demonstrates the separation. Takes a few minutes.
+scale: build
+	./_build/default/bin/ba_sim.exe scale --report SCALE_report.json
+	python3 -m json.tool SCALE_report.json > /dev/null && \
+	  echo "SCALE_report.json: valid JSON"
+
+# Same sweep and gates at smoke scale (< 60s), for CI and `make check`.
+scale-smoke: build
+	./_build/default/bin/ba_sim.exe scale --ns 64,128,256 --report SCALE_report.json
+	python3 -m json.tool SCALE_report.json > /dev/null && \
+	  echo "SCALE_report.json: valid JSON"
+
+# Umbrella gate: build, unit tests, bench JSON smoke, attack matrix, scale
+# sweep smoke — everything a PR must keep green, with a wall-clock guard so
+# a performance regression in any harness fails the target rather than
+# silently eating CI minutes.
+CHECK_BUDGET_S ?= 420
+check: build
+	@t0=$$(date +%s); \
+	$(MAKE) test bench-smoke attack scale-smoke || exit 1; \
+	t1=$$(date +%s); elapsed=$$((t1 - t0)); \
+	echo "check: all gates green in $${elapsed}s (budget $(CHECK_BUDGET_S)s)"; \
+	if [ $$elapsed -gt $(CHECK_BUDGET_S) ]; then \
+	  echo "check: EXCEEDED wall-clock budget ($${elapsed}s > $(CHECK_BUDGET_S)s)"; \
+	  exit 1; \
+	fi
+
 clean:
 	dune clean
 	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl \
-	  ATTACK_report.json
+	  ATTACK_report.json SCALE_report.json

@@ -42,6 +42,7 @@ let section title =
    and machines. *)
 let experiment_times : (string * float * string * string) list ref = ref []
 let table1_json_rows : string list ref = ref []
+let scale_json_rows : string list ref = ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -68,10 +69,24 @@ let row_to_json (r : Runner.row) =
     (json_escape r.Runner.r_note)
     (Metrics.breakdown_to_json r.Runner.r_breakdown)
 
+(* A scale-sweep point is a row plus the audit-vs-budget fields (schema
+   repro-bench/4): flat, so readers treat it as a row with extras. *)
+let scale_point_to_json ~cap (sp : Runner.scale_point) =
+  let base = row_to_json sp.Runner.sp_row in
+  let base = String.sub base 0 (String.length base - 1) in
+  Printf.sprintf
+    "%s,\"p99_bits\":%.1f,\"budget_bits\":%s,\"within\":%b,\"violations\":%d,\"cap\":%s}"
+    base sp.Runner.sp_p99_bits
+    (match sp.Runner.sp_budget_bits with
+    | None -> "null"
+    | Some b -> Printf.sprintf "%.1f" b)
+    sp.Runner.sp_within sp.Runner.sp_violations
+    (match cap with None -> "null" | Some c -> string_of_int c)
+
 let write_results ~total_wall_s =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-bench/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/4\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
@@ -91,6 +106,18 @@ let write_results ~total_wall_s =
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"table1\": [\n";
   let rows = List.rev !table1_json_rows in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s%s\n" row
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  (* schema /4: the E17 scale sweep — table1-shaped rows with the
+     audit-vs-budget fields (p99_bits, budget_bits, within, violations,
+     cap). Empty when the scale experiment did not run. *)
+  Buffer.add_string buf "  \"scale\": [\n";
+  let rows = !scale_json_rows in
   List.iteri
     (fun i row ->
       Buffer.add_string buf
@@ -185,6 +212,33 @@ let bench_sweep () =
         [ Runner.This_work_owf; Runner.This_work_snark ])
     ns;
   Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* E17: large-n scale sweep                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_scale () =
+  section "E17: large-n scale sweep (sparse engine; quadratic baselines capped)";
+  let ns =
+    if full then Runner.scale_ns_default
+    else if smoke then [ 64; 128 ]
+    else [ 256; 512; 1024 ]
+  in
+  let results = Runner.scale_rows ~ns ~beta:0.1 ~seed:1 () in
+  scale_json_rows :=
+    List.concat_map
+      (fun sc ->
+        List.map
+          (scale_point_to_json ~cap:sc.Runner.sc_cap)
+          sc.Runner.sc_points)
+      results;
+  Tablefmt.print (Runner.scale_table results);
+  print_endline
+    "  (honest per-party p99 vs each protocol's declared total-bits curve;";
+  print_endline
+    "   the this-work curves stay under budget as n doubles while the";
+  print_endline
+    "   baselines cross their identical-shape declarations - E17)"
 
 (* ------------------------------------------------------------------ *)
 (* E5/F1 and E6/F2: security games                                     *)
@@ -1080,11 +1134,13 @@ let () =
     mode (Parallel.domains ());
   let experiments =
     if smoke then
-      [ ("table1", bench_table1); ("breakdown", bench_breakdown) ]
+      [ ("table1", bench_table1); ("breakdown", bench_breakdown);
+        ("scale", bench_scale) ]
     else
       [
         ("table1", bench_table1);
         ("sweep", bench_sweep);
+        ("scale", bench_scale);
         ("games", bench_games);
         ("certificates", bench_certificates);
         ("succinctness", bench_succinctness);

@@ -385,6 +385,91 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Scaling sweep with fitted growth exponents.")
     Term.(const action $ ns_arg $ beta_arg $ seed_arg)
 
+(* --- scale --- *)
+
+let scale_ns_arg =
+  Arg.(
+    value
+    & opt (list int) Runner.scale_ns_default
+    & info [ "ns" ] ~docv:"N1,N2,..."
+        ~doc:
+          "Party counts to sweep. Quadratic-simulation baselines are \
+           additionally capped per protocol (the table marks capped curves).")
+
+let scale_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable scale report (schema repro-scale/1, \
+           byte-identical across reruns with the same arguments).")
+
+let scale_cmd =
+  let action ns beta seed report_out =
+    let results = Runner.scale_rows ~ns ~beta ~seed () in
+    Repro_util.Tablefmt.print (Runner.scale_table results);
+    (match report_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Runner.scale_json results);
+      close_out oc;
+      Printf.printf "report written to %s\n" file
+    | None -> ());
+    print_endline
+      "  (p99 = honest per-party 99th-percentile sent+received; budget = the";
+    print_endline
+      "   protocol's declared polylog total-bits curve at that n. The";
+    print_endline
+      "   this-work curves stay within budget as n doubles; the baselines'";
+    print_endline "   identical-shape declarations break - see EXPERIMENTS.md E17)";
+    (* Gate: the headline separation must be visible in this very output.
+       Both this-work curves within budget and violation-free at every
+       swept n; at least one baseline over its declared curve at its
+       largest swept n. *)
+    let this_work_ok =
+      List.for_all
+        (fun sc ->
+          match Runner.protocol_of_name sc.Runner.sc_protocol with
+          | Some (Runner.This_work_owf | Runner.This_work_snark) ->
+            List.for_all
+              (fun sp -> sp.Runner.sp_within && sp.Runner.sp_violations = 0)
+              sc.Runner.sc_points
+          | _ -> true)
+        results
+    in
+    let baseline_over =
+      List.exists
+        (fun sc ->
+          match Runner.protocol_of_name sc.Runner.sc_protocol with
+          | Some
+              (Runner.Multisig_boost | Runner.Sqrt_boost | Runner.Naive_boost)
+            ->
+            List.exists (fun sp -> not sp.Runner.sp_within) sc.Runner.sc_points
+          | _ -> false)
+        results
+    in
+    if not this_work_ok then begin
+      print_endline "gate: a this-work curve broke its declared budget";
+      exit 1
+    end;
+    if not baseline_over then begin
+      print_endline
+        "gate: no baseline exceeded its declared curve (separation not shown)";
+      exit 1
+    end;
+    print_endline
+      "gate: this-work within budget at every n; baseline separation shown"
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "E17 large-n scale sweep: honest p99 bits/party vs each protocol's \
+          declared budget curve, baselines capped where their simulation \
+          cost turns quadratic. Non-zero exit if a this-work curve breaks \
+          its budget or no baseline demonstrates the separation.")
+    Term.(const action $ scale_ns_arg $ beta_arg $ seed_arg $ scale_report_arg)
+
 (* --- games --- *)
 
 let games_cmd =
@@ -584,5 +669,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; audit_cmd; attack_cmd; table1_cmd; sweep_cmd; games_cmd;
-            boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd ]))
+          [ run_cmd; audit_cmd; attack_cmd; table1_cmd; sweep_cmd; scale_cmd;
+            games_cmd; boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd ]))

@@ -122,18 +122,64 @@ let disseminate ?adversary net t ~label ~values =
   let params = Tree.params tr in
   let height = params.Params.height in
   let tag = "aecomm/" ^ label in
+  (* Per-party state materializes lazily: only the polylog-many committee
+     members and slot owners that actually receive traffic ever allocate a
+     table, so setup stays O(active), not O(n). *)
   (* received.(p) : (level, idx) -> value list *)
-  let received = Array.init n (fun _ -> Hashtbl.create 8) in
-  let leaf_values = Array.init n (fun _ -> Hashtbl.create 4) in
-  (* node (level, idx) -> payload carries level, idx, value *)
-  let enc ~level ~idx v =
-    Repro_util.Encode.to_bytes (fun b ->
-        Repro_util.Encode.varint b level;
-        Repro_util.Encode.varint b idx;
-        Repro_util.Encode.bytes b v)
+  let received : (int * int, bytes list) Hashtbl.t option array =
+    Array.make n None
   in
-  let dec payload =
-    Repro_util.Encode.decode payload (fun src ->
+  let leaf_values : (int, bytes list) Hashtbl.t option array =
+    Array.make n None
+  in
+  let tbl arr p =
+    match arr.(p) with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 8 in
+      arr.(p) <- Some h;
+      h
+  in
+  let lookup arr p key =
+    match arr.(p) with
+    | None -> []
+    | Some h -> ( try Hashtbl.find h key with Not_found -> [])
+  in
+  (* node (level, idx) -> payload carries level, idx, value *)
+  (* Every member of a committee forwards the *same* majority value (one
+     shared buffer, see {!tally}) to the same children, so the encoded
+     payload is cached per (node, value-identity): one copy of a large
+     certificate per child node instead of one per forwarding member. The
+     bytes on the wire are unchanged — only the allocation count drops. *)
+  let enc_cache : (int * int, (bytes * bytes) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let enc ~level ~idx v =
+    let key = (level, idx) in
+    let entries =
+      match Hashtbl.find_opt enc_cache key with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add enc_cache key l;
+        l
+    in
+    match List.find_opt (fun (k, _) -> k == v) !entries with
+    | Some (_, e) -> e
+    | None ->
+      let e =
+        Repro_util.Encode.to_bytes (fun b ->
+            Repro_util.Encode.varint b level;
+            Repro_util.Encode.varint b idx;
+            Repro_util.Encode.bytes b v)
+      in
+      entries := (v, e) :: !entries;
+      e
+  in
+  (* Memoized: the same multicast buffer reaches every committee member, so
+     the decode (and its payload copy) happens once, not once per member. *)
+  let dec =
+    Repro_util.Encode.memo_decode (fun src ->
         let level = Repro_util.Encode.r_varint src in
         let idx = Repro_util.Encode.r_varint src in
         let v = Repro_util.Encode.r_bytes src in
@@ -163,6 +209,12 @@ let disseminate ?adversary net t ~label ~values =
         (enc ~level:1 ~idx v)
   in
   let start = Network.round net in
+  (* Parties that ingested an internal-node value must keep acting in later
+     rounds even if a round leaves their inbox empty — a rushing adversary
+     may deliver a level-L value *early*, and the dense engine would still
+     forward it at round (height - L). Keeping them in the active set
+     reproduces that; the set only ever holds committee members. *)
+  let armed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let handler p ~round ~inbox =
     (* ingest *)
     List.iter
@@ -172,12 +224,12 @@ let disseminate ?adversary net t ~label ~values =
           | Some (level, idx, v) ->
             if level >= 2 then begin
               let key = (level, idx) in
-              Hashtbl.replace received.(p) key
-                (v :: (try Hashtbl.find received.(p) key with Not_found -> []))
+              Hashtbl.replace armed p ();
+              Hashtbl.replace (tbl received p) key (v :: lookup received p key)
             end
             else
-              Hashtbl.replace leaf_values.(p) idx
-                (v :: (try Hashtbl.find leaf_values.(p) idx with Not_found -> []))
+              Hashtbl.replace (tbl leaf_values p) idx
+                (v :: lookup leaf_values p idx)
           | None -> ())
       inbox;
     let round0 = round - start in
@@ -196,7 +248,7 @@ let disseminate ?adversary net t ~label ~values =
         List.iter
           (fun (l, idx) ->
             if l = level then begin
-              let vs = try Hashtbl.find received.(p) (level, idx) with Not_found -> [] in
+              let vs = lookup received p (level, idx) in
               let committee_size =
                 Array.length (Tree.assigned tr ~level:(level + 1) ~idx:(idx / params.Params.branching))
               in
@@ -207,10 +259,20 @@ let disseminate ?adversary net t ~label ~values =
           t.memberships.(p)
     end
   in
-  let handlers =
-    Array.init n (fun p -> if Network.is_honest net p then Some (handler p) else None)
+  (* Sparse execution: round 0's spontaneous actors are the honest supreme
+     committee members; every later round is driven by deliveries plus the
+     armed set. Non-active parties are no-ops in the dense run, so the
+     transcript is byte-identical. *)
+  let supreme =
+    List.filter (Network.is_honest net)
+      (List.sort_uniq compare (Array.to_list (Tree.supreme_committee tr)))
   in
-  Network.run net ?adversary ~rounds:(max 2 height) handlers;
+  let extra ~round =
+    let base = Hashtbl.fold (fun p () acc -> p :: acc) armed [] in
+    if round - start = 0 then List.rev_append supreme base else base
+  in
+  Network.run_active net ?adversary ~rounds:(max 2 height) ~extra (fun p ->
+      if Network.is_honest net p then Some (handler p) else None);
   (* Each party combines: per leaf slot, take majority of copies received for
      that leaf (sent by the level-2 committee); across its slots, plurality. *)
   let out = Array.make n None in
@@ -222,7 +284,7 @@ let disseminate ?adversary net t ~label ~values =
       let per_leaf =
         List.filter_map
           (fun leaf ->
-            let vs = try Hashtbl.find leaf_values.(p) leaf with Not_found -> [] in
+            let vs = lookup leaf_values p leaf in
             let sender_committee =
               if height >= 2 then
                 Array.length

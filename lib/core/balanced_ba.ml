@@ -225,8 +225,23 @@ module Make (S : Srds_intf.SCHEME) = struct
     end;
 
     (* --- Phase E: sign per virtual identity, send to leaf committees --- *)
-    let incoming : (int * int, bytes list) Hashtbl.t array =
-      Array.init n (fun _ -> Hashtbl.create 8)
+    (* Lazily materialized: only committee members ever hold signatures, so
+       the table array stays sparse at large n. *)
+    let incoming : (int * int, bytes list) Hashtbl.t option array =
+      Array.make n None
+    in
+    let incoming_tbl p =
+      match incoming.(p) with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 8 in
+        incoming.(p) <- Some h;
+        h
+    in
+    let incoming_find p key =
+      match incoming.(p) with
+      | None -> []
+      | Some h -> ( try Hashtbl.find h key with Not_found -> [])
     in
     let leaf_members = Hashtbl.create 64 in
     for k = 0 to params.Params.num_leaves - 1 do
@@ -255,29 +270,42 @@ module Make (S : Srds_intf.SCHEME) = struct
           (Tree.party_slots tree p)
       | None -> ()
     in
+    (* One signature multicast reaches a whole leaf committee; the memoized
+       decode copies the signature bytes out once, not once per member. *)
+    let dec_sig =
+      Encode.memo_decode (fun src ->
+          let leaf = Encode.r_varint src in
+          let rest = Encode.r_bytes_raw src (Encode.remaining src) in
+          (leaf, rest))
+    in
     let collect_handler p ~round ~inbox =
       ignore round;
       List.iter
         (fun (m : Wire.msg) ->
           if m.Wire.tag = sig_tag then
-            match
-              Encode.decode m.Wire.payload (fun src ->
-                  let leaf = Encode.r_varint src in
-                  let rest = Encode.r_bytes_raw src (Encode.remaining src) in
-                  (leaf, rest))
-            with
+            match dec_sig m.Wire.payload with
             | Some (leaf, sig_bytes) when leaf >= 0 && leaf < params.Params.num_leaves ->
               let key = (1, leaf) in
-              Hashtbl.replace incoming.(p) key
-                (sig_bytes :: (try Hashtbl.find incoming.(p) key with Not_found -> []))
+              Hashtbl.replace (incoming_tbl p) key
+                (sig_bytes :: incoming_find p key)
             | _ -> ())
         inbox
     in
+    (* Sparse rounds: only slot owners holding the pair sign (everyone else
+       is a no-op in the dense run), and collection is delivery-driven. *)
+    let signers =
+      List.filter_map
+        (fun p ->
+          if honest ctx p && received_pair.(p) <> None
+             && Tree.party_slots tree p <> [] then Some (p, sign_handler p)
+          else None)
+        (List.init n (fun p -> p))
+    in
     timed "E: sign+send" (fun () ->
-        Network.run net ?adversary:ctx.adversary ~rounds:1
-          (Array.init n (fun p -> if honest ctx p then Some (sign_handler p) else None));
-        Network.run net ?adversary:ctx.adversary ~rounds:1
-          (Array.init n (fun p -> if honest ctx p then Some (collect_handler p) else None));
+        Network.run_parties net ?adversary:ctx.adversary ~rounds:1 signers;
+        Network.run_active net ?adversary:ctx.adversary ~rounds:1
+          ~extra:(fun ~round:_ -> [])
+          (fun p -> if honest ctx p then Some (collect_handler p) else None);
         Network.flush net);
 
     (* --- Phase F: aggregate up the tree (f_aggr-sig per node) --- *)
@@ -295,7 +323,7 @@ module Make (S : Srds_intf.SCHEME) = struct
               match received_pair.(p) with
               | None -> ()
               | Some msg ->
-                let raw = try Hashtbl.find incoming.(p) (level, idx) with Not_found -> [] in
+                let raw = incoming_find p (level, idx) in
                 Hashtbl.replace agree_states (idx, p)
                   (Agg.instance ~pp:ctx.pp ~vks:ctx.vks ~tree ~level ~idx
                      ~members:(members_of idx) ~me:p ~msg ~raw)
@@ -345,29 +373,37 @@ module Make (S : Srds_intf.SCHEME) = struct
                 | None -> ())
             agree_states
         in
+        let dec_up =
+          Encode.memo_decode (fun src ->
+              let idx = Encode.r_varint src in
+              let rest = Encode.r_bytes_raw src (Encode.remaining src) in
+              (idx, rest))
+        in
         let collect_up p ~round ~inbox =
           ignore round;
           List.iter
             (fun (m : Wire.msg) ->
               if m.Wire.tag = up_tag then
-                match
-                  Encode.decode m.Wire.payload (fun src ->
-                      let idx = Encode.r_varint src in
-                      let rest = Encode.r_bytes_raw src (Encode.remaining src) in
-                      (idx, rest))
-                with
+                match dec_up m.Wire.payload with
                 | Some (child_idx, sig_bytes) ->
                   let parent = child_idx / params.Params.branching in
                   let key = (level + 1, parent) in
-                  Hashtbl.replace incoming.(p) key
-                    (sig_bytes :: (try Hashtbl.find incoming.(p) key with Not_found -> []))
+                  Hashtbl.replace (incoming_tbl p) key
+                    (sig_bytes :: incoming_find p key)
                 | None -> ())
             inbox
         in
-        Network.run net ?adversary:ctx.adversary ~rounds:1
-          (Array.init n (fun p -> if honest ctx p then Some (forward_handler p) else None));
-        Network.run net ?adversary:ctx.adversary ~rounds:1
-          (Array.init n (fun p -> if honest ctx p then Some (collect_up p) else None));
+        (* Only this level's committee members can have an instance to
+           forward; everyone else is a no-op. Collection is delivery-driven. *)
+        let forwarders =
+          List.sort_uniq compare
+            (Hashtbl.fold (fun (_, q) _ acc -> q :: acc) agree_states [])
+        in
+        Network.run_parties net ?adversary:ctx.adversary ~rounds:1
+          (List.map (fun p -> (p, forward_handler p)) forwarders);
+        Network.run_active net ?adversary:ctx.adversary ~rounds:1
+          ~extra:(fun ~round:_ -> [])
+          (fun p -> if honest ctx p then Some (collect_up p) else None);
         Network.flush net
       end
       else
@@ -375,7 +411,7 @@ module Make (S : Srds_intf.SCHEME) = struct
           (fun (idx, q) st ->
             if idx = 0 then
               match Agg.output st with
-              | Some payload -> Hashtbl.replace incoming.(q) (-1, -1) [ payload ]
+              | Some payload -> Hashtbl.replace (incoming_tbl q) (-1, -1) [ payload ]
               | None -> ())
           agree_states;
     done;
@@ -385,8 +421,8 @@ module Make (S : Srds_intf.SCHEME) = struct
          how many base signatures it attests *)
       List.iter
         (fun p ->
-          match Hashtbl.find_opt incoming.(p) (-1, -1) with
-          | Some [ sig_bytes ] ->
+          match incoming_find p (-1, -1) with
+          | [ sig_bytes ] ->
             (match W.of_bytes sig_bytes with
             | Some sg ->
               Log.debug (fun m ->
@@ -399,8 +435,8 @@ module Make (S : Srds_intf.SCHEME) = struct
 
     (* --- Phase G: disseminate (payload, s, sigma_root) --- *)
     let cert_values p =
-      match (received_pair.(p), Hashtbl.find_opt incoming.(p) (-1, -1)) with
-      | Some pair_bytes, Some [ sig_bytes ] ->
+      match (received_pair.(p), incoming_find p (-1, -1)) with
+      | Some pair_bytes, [ sig_bytes ] ->
         Some
           (Encode.to_bytes (fun b ->
                Encode.bytes b pair_bytes;
@@ -416,11 +452,19 @@ module Make (S : Srds_intf.SCHEME) = struct
 
     (* --- Phase H: the single boost round --- *)
     let outputs = Array.make n None in
-    let decode_cert data =
-      Encode.decode data (fun src ->
+    (* Certificates are the largest payloads in the protocol and — being
+       disseminated — almost every party holds the same physical buffer, so
+       memoizing the decode collapses n copies into one. *)
+    let decode_cert =
+      Encode.memo_decode (fun src ->
           let pair_bytes = Encode.r_bytes src in
           let sig_bytes = Encode.r_bytes src in
           (pair_bytes, sig_bytes))
+    in
+    let pair_of_msg = Encode.memo_decode (fun src ->
+        let payload = Encode.r_bytes src in
+        let s = Encode.r_bytes src in
+        (payload, s))
     in
     let accept p pair_bytes sig_bytes =
       match (pair_of_msg pair_bytes, W.of_bytes sig_bytes) with
@@ -473,11 +517,20 @@ module Make (S : Srds_intf.SCHEME) = struct
             | None -> ())
         inbox
     in
+    (* Senders are exactly the cert holders; receivers are delivery-driven. *)
+    let boosters =
+      List.filter_map
+        (fun p ->
+          if honest ctx p && received_cert.(p) <> None then
+            Some (p, boost_send p)
+          else None)
+        (List.init n (fun p -> p))
+    in
     timed "H: boost round" (fun () ->
-        Network.run net ?adversary:ctx.adversary ~rounds:1
-          (Array.init n (fun p -> if honest ctx p then Some (boost_send p) else None));
-        Network.run net ?adversary:ctx.adversary ~rounds:1
-          (Array.init n (fun p -> if honest ctx p then Some (boost_recv p) else None)));
+        Network.run_parties net ?adversary:ctx.adversary ~rounds:1 boosters;
+        Network.run_active net ?adversary:ctx.adversary ~rounds:1
+          ~extra:(fun ~round:_ -> [])
+          (fun p -> if honest ctx p then Some (boost_recv p) else None));
     outputs
 
   (* --- the full Byzantine agreement protocol --- *)

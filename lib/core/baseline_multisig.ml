@@ -25,6 +25,14 @@ module Hmac = Repro_crypto.Hmac
 let name = "baseline-multisig"
 let pki = `Trusted
 
+(* Scheme-operation counters, same shape as the SRDS schemes': under
+   REPRO_COUNTERS a run's <name>.{keygen,sign,aggregate,verify} values are
+   a deterministic function of the protocol's logical work. *)
+let c_keygen = Repro_obs.Counters.make (name ^ ".keygen")
+let c_sign = Repro_obs.Counters.make (name ^ ".sign")
+let c_verify = Repro_obs.Counters.make (name ^ ".verify")
+let c_aggregate = Repro_obs.Counters.make (name ^ ".aggregate")
+
 type pp = {
   n : int;
   mac_key : bytes; (* the ideal multisig oracle's key *)
@@ -43,6 +51,7 @@ let setup rng ~n =
     () )
 
 let keygen pp _master _rng ~index =
+  Repro_obs.Counters.bump c_keygen;
   (* verification keys are irrelevant to the cost model; a small public
      token keeps the interface uniform *)
   (Hashx.hash ~tag:"ms-vk" [ pp.pp_id; Bytes.of_string (string_of_int index) ], index)
@@ -58,6 +67,7 @@ let xor_tags a b =
       Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
 
 let sign pp sk ~index ~msg =
+  Repro_obs.Counters.bump c_sign;
   if index <> sk then None
   else begin
     let who = Bitset.create pp.n in
@@ -97,6 +107,7 @@ let max_index sg =
    signatures (the committee receives many copies of each child aggregate;
    XOR-combination needs disjoint signer sets). *)
 let aggregate1 pp ~vks ~msg sigs =
+  Repro_obs.Counters.bump c_aggregate;
   let valid = List.filter (verify_partial pp ~vks ~msg) sigs in
   let sorted =
     List.sort (fun a b -> compare (min_index a, max_index a) (min_index b, max_index b)) valid
@@ -132,7 +143,9 @@ let threshold pp = (pp.n / 2) + 1
 
 let count sg = Bitset.cardinal sg.who
 
-let verify pp ~vks ~msg sg = verify_partial pp ~vks ~msg sg && count sg >= threshold pp
+let verify pp ~vks ~msg sg =
+  Repro_obs.Counters.bump c_verify;
+  verify_partial pp ~vks ~msg sg && count sg >= threshold pp
 
 (* The honest Theta(n) cost: the bitmask is part of every signature. *)
 let encode_sig b sg =

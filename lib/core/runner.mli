@@ -164,3 +164,55 @@ val sweep_table :
   ?protocols:protocol list ->
   unit ->
   Repro_util.Tablefmt.t
+
+(** {1 E17: large-n scale sweep}
+
+    The sparse execution engine makes the Fig. 3 pipeline tractable at
+    n = 4096+; baselines whose simulation cost is quadratic in n carry an
+    explicit per-protocol sweep ceiling ({!scale_cap}) so a capped curve is
+    never mistaken for a complete one. Every point runs audited and records
+    the honest per-party p99 bits against the protocol's declared
+    total-bits budget curve — the paper's headline separation as a
+    measurement. *)
+
+type scale_point = {
+  sp_row : row;
+  sp_p99_bits : float;  (** honest per-party p99 bits (8 x [r_p99_bytes]) *)
+  sp_budget_bits : float option;
+      (** the protocol's declared total-bits curve at this n *)
+  sp_within : bool;  (** p99 under the declared curve (true if none) *)
+  sp_violations : int;  (** auditor violations over the whole run *)
+}
+
+type scale_result = {
+  sc_protocol : string;
+  sc_cap : int option;  (** sweep ceiling; [None] = swept every requested n *)
+  sc_points : scale_point list;
+  sc_slope_p99 : float;  (** fitted d log(p99 bits) / d log n *)
+}
+
+val scale_ns_default : int list
+(** [256; 512; 1024; 2048; 4096]. *)
+
+val scale_cap : protocol -> int option
+(** Largest n the default sweep runs this protocol at ([None] = uncapped).
+    Caps bound {e simulation} cost, not protocol cost: the Theta(n)
+    baselines cost Theta(n^2) bytes to simulate. *)
+
+val scale_rows :
+  ?ns:int list ->
+  ?beta:float ->
+  ?seed:int ->
+  ?protocols:protocol list ->
+  unit ->
+  scale_result list
+(** One audited cell per (protocol, n <= cap), fanned out on the domain
+    pool; results are bit-identical for any [REPRO_DOMAINS] pool size. *)
+
+val scale_json : scale_result list -> string
+(** Machine-readable report, schema [repro-scale/1]; parses back with
+    {!Repro_util.Json}. Byte-identical across reruns with equal inputs. *)
+
+val scale_table : scale_result list -> Repro_util.Tablefmt.t
+(** Render: one row per point (p99 vs budget, violation count), the fitted
+    p99 growth exponent on each protocol's last row. *)

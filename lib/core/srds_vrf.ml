@@ -38,6 +38,14 @@ let name = "srds-vrf"
    by the dedicated ablation below. *)
 let pki = `Trusted
 
+(* Scheme-operation counters, same shape as the other SRDS schemes': under
+   REPRO_COUNTERS a run's <name>.{keygen,sign,aggregate,verify} values are
+   a deterministic function of the protocol's logical work. *)
+let c_keygen = Repro_obs.Counters.make (name ^ ".keygen")
+let c_sign = Repro_obs.Counters.make (name ^ ".sign")
+let c_verify = Repro_obs.Counters.make (name ^ ".verify")
+let c_aggregate = Repro_obs.Counters.make (name ^ ".aggregate")
+
 type pp = {
   n : int;
   expected : int;
@@ -80,6 +88,7 @@ let split_vk vk =
         Bytes.sub vk Hashx.kappa_bytes Hashx.kappa_bytes )
 
 let keygen pp _master rng ~index:_ =
+  Repro_obs.Counters.bump c_keygen;
   let seed = Hashx.hash ~tag:"srds-vrf-seed" [ pp.pp_id; Rng.bytes rng 32 ] in
   let wots_vk, wots_sk = Wots.keygen seed in
   let vrf_vk, vrf_sk = Vrf.keygen_from_seed (Hashx.hash ~tag:"srds-vrf-vrf" [ seed ]) in
@@ -92,6 +101,7 @@ let sortition_wins pp y = Vrf.to_fraction y < win_fraction pp
 let msg_digest pp msg = Hashx.hash ~tag:"srds-vrf-msg" [ pp.pp_id; msg ]
 
 let sign pp sk ~index ~msg =
+  Repro_obs.Counters.bump c_sign;
   let y, proof = Vrf.eval sk.vrf pp.crs in
   if not (sortition_wins pp y) then None
   else
@@ -137,6 +147,7 @@ let verify_partial pp ~vks ~msg sg =
   well_formed pp sg && List.for_all (entry_valid pp ~vks ~msg) sg.entries
 
 let aggregate1 pp ~vks ~msg sigs =
+  Repro_obs.Counters.bump c_aggregate;
   let valid = List.filter (verify_partial pp ~vks ~msg) sigs in
   let sorted = List.sort (fun a b -> compare (a.lo, a.hi) (b.lo, b.hi)) valid in
   let seen = Hashtbl.create 64 in
@@ -170,6 +181,7 @@ let threshold pp = (pp.expected / 2) + 1
 let count sg = List.length sg.entries
 
 let verify pp ~vks ~msg sg =
+  Repro_obs.Counters.bump c_verify;
   verify_partial pp ~vks ~msg sg && count sg >= threshold pp
 
 let min_index sg = sg.lo

@@ -24,10 +24,19 @@ let instance_tag tag inst = tag ^ "/" ^ inst
 (* Messages handed to an instance's [m_recv] across all engine executions. *)
 let c_msgs = Repro_obs.Counters.make "engine.msgs"
 
+(* Allocation-free prefix test: engine dispatch runs once per delivered
+   message, so the "tag/" match must not build substrings just to compare. *)
+let has_prefix ~tag full =
+  let tl = String.length tag and fl = String.length full in
+  fl > tl
+  && full.[tl] = '/'
+  &&
+  let rec eq i = i >= tl || (full.[i] = tag.[i] && eq (i + 1)) in
+  eq 0
+
 let split_tag ~tag full =
-  let prefix = tag ^ "/" in
-  let pl = String.length prefix in
-  if String.length full >= pl && String.sub full 0 pl = prefix then
+  if has_prefix ~tag full then
+    let pl = String.length tag + 1 in
     Some (String.sub full pl (String.length full - pl))
   else None
 
@@ -38,30 +47,60 @@ let split_tag ~tag full =
 let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
     () =
   let n = Network.n net in
-  let tables =
-    Array.init n (fun p ->
-        if Network.is_honest net p then begin
-          let tbl = Hashtbl.create 8 in
-          List.iter
-            (fun (inst, m) ->
-              if Hashtbl.mem tbl inst then
-                invalid_arg ("Engine.run: duplicate instance " ^ inst);
-              Hashtbl.add tbl inst m)
-            (machines p);
-          tbl
-        end
-        else Hashtbl.create 0)
+  (* Sparse: only parties that own at least one instance get a table and a
+     handler. A party with no instances is a strict no-op in every round
+     (nothing to dispatch to, nothing to send), so skipping it entirely
+     leaves the transcript unchanged while each round costs O(participants),
+     not O(n) — with sortition that is polylog(n) parties. *)
+  let participants =
+    List.filter_map
+      (fun p ->
+        if not (Network.is_honest net p) then None
+        else
+          match machines p with
+          | [] -> None
+          | ms ->
+            let tbl = Hashtbl.create 8 in
+            List.iter
+              (fun (inst, m) ->
+                if Hashtbl.mem tbl inst then
+                  invalid_arg ("Engine.run: duplicate instance " ^ inst);
+                Hashtbl.add tbl inst m)
+              ms;
+            Some (p, tbl))
+      (List.init n (fun p -> p))
   in
   let start = Network.round net in
-  let handler p ~round ~inbox =
+  (* Per-message constants matter: one committee phase can deliver millions
+     of messages. Full instance tags are interned once per run (no string
+     concat per send) and tag-splitting is memoized by tag content (no
+     substring allocation per delivered message). *)
+  let interned : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let full_tag inst =
+    match Hashtbl.find_opt interned inst with
+    | Some f -> f
+    | None ->
+      let f = instance_tag tag inst in
+      Hashtbl.add interned inst f;
+      f
+  in
+  let split_memo : (string, string option) Hashtbl.t = Hashtbl.create 16 in
+  let split full =
+    match Hashtbl.find_opt split_memo full with
+    | Some r -> r
+    | None ->
+      let r = split_tag ~tag full in
+      Hashtbl.add split_memo full r;
+      r
+  in
+  let handler p tbl ~round ~inbox =
     let local = round - start in
-    let tbl = tables.(p) in
     (* Dispatch last round's deliveries per instance, preserving order. *)
     if local > 0 then begin
       let by_inst = Hashtbl.create 8 in
       List.iter
         (fun (m : Wire.msg) ->
-          match split_tag ~tag m.tag with
+          match split m.tag with
           | None -> () (* other phase's leftovers: ignore *)
           | Some inst ->
             if Hashtbl.mem tbl inst then begin
@@ -85,18 +124,19 @@ let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
     if local < rounds then
       Hashtbl.iter
         (fun inst m ->
-          List.iter
-            (fun (dst, payload) ->
-              Network.send net ~src:p ~dst ~tag:(instance_tag tag inst) payload)
-            (m.m_send ~round:local))
+          match m.m_send ~round:local with
+          | [] -> ()
+          | msgs ->
+            let ft = full_tag inst in
+            List.iter
+              (fun (dst, payload) ->
+                Network.send net ~src:p ~dst ~tag:ft payload)
+              msgs)
         tbl
   in
-  let handlers =
-    Array.init n (fun p ->
-        if Network.is_honest net p then Some (handler p) else None)
-  in
+  let parties = List.map (fun (p, tbl) -> (p, handler p tbl)) participants in
   (* The engine tag ("coin-ba", "aggr-ba-2", ...) is the finest-grained
      phase label the auditor's timeline and violations carry. *)
   Repro_obs.Audit.with_phase (Network.audit net) ("engine:" ^ tag) @@ fun () ->
   Repro_obs.Trace.span ~cat:"engine" ("engine:" ^ tag) (fun () ->
-      Network.run net ?adversary ~rounds:(rounds + 1) handlers)
+      Network.run_parties net ?adversary ~rounds:(rounds + 1) parties)

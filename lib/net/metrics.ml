@@ -6,15 +6,25 @@
    count. Reports are normally restricted to honest parties: the adversary
    can always inflate its own parties' numbers. *)
 
-module IntSet = Set.Make (Int)
+(* Peer sets are mutable bitsets with a maintained cardinality: adding a
+   peer is O(1) with no allocation on the per-message hot path (a persistent
+   set would allocate a rebalanced spine per insert — measurably the top
+   cost at n in the thousands). Bitsets materialize lazily so silent
+   parties cost nothing. *)
+module Bitset = Repro_util.Bitset
+
+type peers = {
+  mutable bits : Bitset.t option;
+  mutable count : int; (* = cardinal of bits *)
+}
 
 type party_stats = {
   mutable bytes_sent : int;
   mutable bytes_recv : int;
   mutable msgs_sent : int;
   mutable msgs_recv : int;
-  mutable peers_sent : IntSet.t;
-  mutable peers_recv : IntSet.t;
+  peers_sent : peers;
+  peers_recv : peers;
 }
 
 type t = {
@@ -22,6 +32,7 @@ type t = {
   stats : party_stats array;
   mutable rounds : int;
   by_tag : (string, int) Hashtbl.t; (* sent bytes per tag group *)
+  group_of_tag : (string, string) Hashtbl.t; (* memoized tag_group *)
 }
 
 let fresh_party () =
@@ -30,13 +41,27 @@ let fresh_party () =
     bytes_recv = 0;
     msgs_sent = 0;
     msgs_recv = 0;
-    peers_sent = IntSet.empty;
-    peers_recv = IntSet.empty;
+    peers_sent = { bits = None; count = 0 };
+    peers_recv = { bits = None; count = 0 };
   }
+
+let peer_add ~n ps peer =
+  let b =
+    match ps.bits with
+    | Some b -> b
+    | None ->
+      let b = Bitset.create n in
+      ps.bits <- Some b;
+      b
+  in
+  if not (Bitset.mem b peer) then begin
+    Bitset.set b peer;
+    ps.count <- ps.count + 1
+  end
 
 let create n =
   { n; stats = Array.init n (fun _ -> fresh_party ()); rounds = 0;
-    by_tag = Hashtbl.create 32 }
+    by_tag = Hashtbl.create 32; group_of_tag = Hashtbl.create 64 }
 
 (* Tag grouping for the per-phase breakdown: keep the part before '/',
    stripped of trailing digits and instance labels, so "aggr-ba-2/15",
@@ -71,8 +96,17 @@ let note_send t (m : Wire.msg) =
   let sz = Wire.size m in
   s.bytes_sent <- s.bytes_sent + sz;
   s.msgs_sent <- s.msgs_sent + 1;
-  s.peers_sent <- IntSet.add m.dst s.peers_sent;
-  let g = tag_group m.tag in
+  peer_add ~n:t.n s.peers_sent m.dst;
+  (* Distinct tags are few; grouping each one once keeps the per-message
+     cost to a hash lookup instead of substring allocations. *)
+  let g =
+    match Hashtbl.find_opt t.group_of_tag m.tag with
+    | Some g -> g
+    | None ->
+      let g = tag_group m.tag in
+      Hashtbl.add t.group_of_tag m.tag g;
+      g
+  in
   Hashtbl.replace t.by_tag g (sz + try Hashtbl.find t.by_tag g with Not_found -> 0)
 
 let note_recv t (m : Wire.msg) =
@@ -80,7 +114,7 @@ let note_recv t (m : Wire.msg) =
   let sz = Wire.size m in
   s.bytes_recv <- s.bytes_recv + sz;
   s.msgs_recv <- s.msgs_recv + 1;
-  s.peers_recv <- IntSet.add m.src s.peers_recv
+  peer_add ~n:t.n s.peers_recv m.src
 
 let note_round t = t.rounds <- t.rounds + 1
 
@@ -92,7 +126,12 @@ let party_msgs_sent t i = t.stats.(i).msgs_sent
 let party_msgs_recv t i = t.stats.(i).msgs_recv
 
 let party_locality t i =
-  IntSet.cardinal (IntSet.union t.stats.(i).peers_sent t.stats.(i).peers_recv)
+  let s = t.stats.(i) in
+  match (s.peers_sent.bits, s.peers_recv.bits) with
+  | None, None -> 0
+  | Some _, None -> s.peers_sent.count
+  | None, Some _ -> s.peers_recv.count
+  | Some a, Some b -> Bitset.cardinal (Bitset.union a b)
 
 (* A communication report over a subset of parties (normally the honest
    set). *)

@@ -22,7 +22,8 @@ type t = {
   metrics : Metrics.t;
   mutable audit : Repro_obs.Audit.t option; (* online complexity auditor *)
   mutable staged : Wire.msg list; (* sent this round, reversed *)
-  mutable inboxes : Wire.msg list array; (* deliveries for the current round *)
+  inboxes : Wire.msg list array; (* deliveries for the current round *)
+  mutable dirty : int list; (* parties with a non-empty current inbox *)
   mutable round : int;
   mutable in_adv_step : bool; (* inside the adversary's turn of a round *)
 }
@@ -51,6 +52,7 @@ let create ~n ~corrupt =
     audit = None;
     staged = [];
     inboxes = Array.make n [];
+    dirty = [];
     round = 0;
     in_adv_step = false;
   }
@@ -72,6 +74,14 @@ let corrupt_parties t = List.filter (is_corrupt t) (List.init t.n (fun i -> i))
 
 let h_msg_bytes = Repro_obs.Counters.histogram "net.msg_bytes"
 
+(* Global transcript tap: observes every staged send, in send order, with
+   the network round it was staged in. The golden-transcript regression test
+   hashes the full trace through this hook; it sees exactly the traffic the
+   metrics meter, so any engine rewrite that perturbs message content or
+   ordering changes the digest. *)
+let transcript_tap : (round:int -> Wire.msg -> unit) option ref = ref None
+let set_transcript_tap f = transcript_tap := f
+
 let send t ~src:s ~dst ~tag payload =
   if s < 0 || s >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: party index out of range";
@@ -80,6 +90,7 @@ let send t ~src:s ~dst ~tag payload =
   if t.in_adv_step && not t.corrupt.(s) then
     invalid_arg "Network.send: adversary send from honest src rejected";
   let m = { Wire.src = s; dst; tag; payload } in
+  (match !transcript_tap with Some f -> f ~round:t.round m | None -> ());
   Metrics.note_send t.metrics m;
   Repro_obs.Counters.observe h_msg_bytes (Bytes.length payload);
   Option.iter
@@ -96,8 +107,12 @@ let inbox t i = t.inboxes.(i)
    what a rushing adversary observes. *)
 let staged_honest t = List.rev (List.filter (fun m -> is_honest t m.Wire.src) t.staged)
 
+(* Delivery costs O(messages), not O(n): the inbox array persists across
+   rounds and only the slots dirtied last round are reset, so rounds where
+   polylog(n) parties talk never touch the other n - polylog(n) slots. *)
 let deliver t =
-  let next = Array.make t.n [] in
+  List.iter (fun d -> t.inboxes.(d) <- []) t.dirty;
+  t.dirty <- [];
   (* [staged] holds messages in reverse send order; consing onto each inbox
      restores send order. *)
   List.iter
@@ -108,20 +123,13 @@ let deliver t =
           Repro_obs.Audit.note_recv a ~src:m.Wire.src ~dst:m.Wire.dst
             ~bits:(8 * Wire.size m))
         t.audit;
-      next.(m.dst) <- m :: next.(m.dst))
+      (match t.inboxes.(m.dst) with [] -> t.dirty <- m.dst :: t.dirty | _ -> ());
+      t.inboxes.(m.dst) <- m :: t.inboxes.(m.dst))
     t.staged;
-  t.inboxes <- next;
   t.staged <- []
 
-let step t ?(adversary = null_adversary) handlers =
-  Repro_obs.Trace.span ~cat:"net" "net.round" @@ fun () ->
-  Metrics.note_round t.metrics;
-  Array.iteri
-    (fun i h ->
-      match h with
-      | Some handler when is_honest t i -> handler ~round:t.round ~inbox:t.inboxes.(i)
-      | _ -> ())
-    handlers;
+(* Adversary turn, delivery and round close shared by every stepping mode. *)
+let finish_round t adversary =
   t.in_adv_step <- true;
   Fun.protect
     ~finally:(fun () -> t.in_adv_step <- false)
@@ -132,6 +140,17 @@ let step t ?(adversary = null_adversary) handlers =
      send/recv conservation; the auditor closes the round after delivery. *)
   Option.iter (fun a -> Repro_obs.Audit.end_round a ~round:t.round) t.audit;
   t.round <- t.round + 1
+
+let step t ?(adversary = null_adversary) handlers =
+  Repro_obs.Trace.span ~cat:"net" "net.round" @@ fun () ->
+  Metrics.note_round t.metrics;
+  Array.iteri
+    (fun i h ->
+      match h with
+      | Some handler when is_honest t i -> handler ~round:t.round ~inbox:t.inboxes.(i)
+      | _ -> ())
+    handlers;
+  finish_round t adversary
 
 let run t ?adversary ?stop ~rounds handlers =
   if Array.length handlers <> t.n then
@@ -146,8 +165,63 @@ let run t ?adversary ?stop ~rounds handlers =
   in
   go ()
 
+(* Sparse stepping: only the listed parties act, in ascending party order —
+   exactly the order the dense [step] visits them — so a protocol whose
+   non-listed parties would have been no-ops produces a byte-identical
+   transcript while each round costs O(active), not O(n). *)
+
+let step_parties t ?(adversary = null_adversary) parties =
+  Repro_obs.Trace.span ~cat:"net" "net.round" @@ fun () ->
+  Metrics.note_round t.metrics;
+  List.iter
+    (fun (i, handler) ->
+      if is_honest t i then handler ~round:t.round ~inbox:t.inboxes.(i))
+    parties;
+  finish_round t adversary
+
+let run_parties t ?adversary ?stop ~rounds parties =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= t.n then invalid_arg "Network.run_parties: party index")
+    parties;
+  let parties = List.sort (fun (a, _) (b, _) -> compare a b) parties in
+  let stop = Option.value stop ~default:(fun ~round:_ -> false) in
+  let target = t.round + rounds in
+  let rec go () =
+    if t.round < target && not (stop ~round:t.round) then begin
+      step_parties t ?adversary parties;
+      go ()
+    end
+  in
+  go ()
+
+let run_active t ?adversary ?stop ~rounds ~extra handler_of =
+  let stop = Option.value stop ~default:(fun ~round:_ -> false) in
+  let target = t.round + rounds in
+  let rec go () =
+    if t.round < target && not (stop ~round:t.round) then begin
+      (* Active set: parties with pending deliveries plus the protocol's
+         spontaneous actors for this round (e.g. initial broadcasters). *)
+      let active =
+        List.sort_uniq compare (List.rev_append t.dirty (extra ~round:t.round))
+      in
+      let parties =
+        List.filter_map
+          (fun i ->
+            if i < 0 || i >= t.n then
+              invalid_arg "Network.run_active: party index";
+            match handler_of i with Some h -> Some (i, h) | None -> None)
+          active
+      in
+      step_parties t ?adversary parties;
+      go ()
+    end
+  in
+  go ()
+
 (* Drop undelivered messages and pending inboxes between protocol phases so
    a new sub-protocol starts from a clean slate while metrics accumulate. *)
 let flush t =
   t.staged <- [];
-  t.inboxes <- Array.make t.n []
+  List.iter (fun d -> t.inboxes.(d) <- []) t.dirty;
+  t.dirty <- []

@@ -36,6 +36,12 @@ val is_honest : t -> int -> bool
 val honest_parties : t -> int list
 val corrupt_parties : t -> int list
 
+val set_transcript_tap : (round:int -> Wire.msg -> unit) option -> unit
+(** Install (or clear) a global observer invoked for every accepted send on
+    every network, in send order, with the staging round. Test-only hook:
+    the golden-transcript regression test digests the full message trace
+    through it to pin down byte-identical executions. *)
+
 val send : t -> src:int -> dst:int -> tag:string -> bytes -> unit
 (** Stage one message for delivery next round. Raises [Invalid_argument] if
     [src]/[dst] is out of range, or — channels being authenticated — if the
@@ -58,6 +64,33 @@ val run :
   handler option array ->
   unit
 (** Run up to [rounds] further rounds, stopping early when [stop] fires. *)
+
+val run_parties :
+  t ->
+  ?adversary:adversary ->
+  ?stop:(round:int -> bool) ->
+  rounds:int ->
+  (int * handler) list ->
+  unit
+(** Like {!run}, but only the listed parties act each round, visited in
+    ascending party order (the same order {!run} visits a handler array).
+    Behaviourally identical to {!run} with [None] in the unlisted slots,
+    at O(listed) instead of O(n) per round. *)
+
+val run_active :
+  t ->
+  ?adversary:adversary ->
+  ?stop:(round:int -> bool) ->
+  rounds:int ->
+  extra:(round:int -> int list) ->
+  (int -> handler option) ->
+  unit
+(** Delivery-driven sparse rounds: each round the active set is the parties
+    holding a pending delivery plus [extra ~round] (the protocol's
+    spontaneous actors, e.g. the initial broadcaster). [handler_of i] is
+    consulted only for active parties. Behaviourally identical to {!run}
+    whenever every party outside the active set would be a no-op — true for
+    pure gossip/forwarding phases where action requires input. *)
 
 val flush : t -> unit
 (** Drop all in-flight messages (between composed protocol phases). *)

@@ -11,3 +11,27 @@ let size m = String.length m.tag + Bytes.length m.payload + 4
 
 let pp ppf m =
   Format.fprintf ppf "%d->%d [%s] %dB" m.src m.dst m.tag (Bytes.length m.payload)
+
+(* Canonical framed byte form: varint src, varint dst, length-prefixed tag,
+   length-prefixed payload. [size] above stays the honest accounting charge
+   (flat 4-byte header); this form is for transcripts, replay and any
+   cross-process transport, so [decode] must survive arbitrary bytes —
+   truncated input, implausible lengths, trailing garbage all yield [None],
+   never an exception. *)
+
+module E = Repro_util.Encode
+
+let encode m =
+  E.to_bytes (fun b ->
+      E.varint b m.src;
+      E.varint b m.dst;
+      E.string b m.tag;
+      E.bytes b m.payload)
+
+let decode data =
+  E.decode data (fun src ->
+      let s = E.r_varint src in
+      let d = E.r_varint src in
+      let tag = E.r_string src in
+      let payload = E.r_bytes src in
+      { src = s; dst = d; tag; payload })

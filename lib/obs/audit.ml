@@ -77,9 +77,14 @@ type t = {
   a_kappa : int;
   a_budgets : budgets;
   mutable corrupt : bool array;
-  (* per-round state, reset by end_round *)
+  mutable honest_n : int; (* cached honest count, tracks [corrupt] *)
+  (* per-round state, reset by end_round. Only parties actually charged
+     this round are visited at the round boundary: [touched] lists them,
+     [touched_mark] dedups, so a polylog-active round costs O(active). *)
   round_bits : int array;
   round_peers : (int, unit) Hashtbl.t array;
+  touched_mark : bool array;
+  mutable touched : int list;
   (* whole-execution accumulators *)
   totals : int array;
   total_peers : (int, unit) Hashtbl.t array;
@@ -106,8 +111,11 @@ let create ?(label = "audit") ?(kappa = kappa_default) ~n ~budgets () =
     a_kappa = kappa;
     a_budgets = budgets;
     corrupt = Array.make n false;
+    honest_n = n;
     round_bits = Array.make n 0;
     round_peers = Array.init n (fun _ -> Hashtbl.create 8);
+    touched_mark = Array.make n false;
+    touched = [];
     totals = Array.make n 0;
     total_peers = Array.init n (fun _ -> Hashtbl.create 16);
     viol_of_party = Array.make n 0;
@@ -130,7 +138,9 @@ let budgets t = t.a_budgets
 
 let set_corrupt t mask =
   if Array.length mask <> t.a_n then invalid_arg "Audit.set_corrupt: arity";
-  t.corrupt <- Array.copy mask
+  t.corrupt <- Array.copy mask;
+  t.honest_n <-
+    Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 t.corrupt
 
 let honest t p = not t.corrupt.(p)
 
@@ -166,6 +176,10 @@ let phase_cell t =
     arr
 
 let charge t p other bits =
+  if not t.touched_mark.(p) then begin
+    t.touched_mark.(p) <- true;
+    t.touched <- p :: t.touched
+  end;
   t.round_bits.(p) <- t.round_bits.(p) + bits;
   t.totals.(p) <- t.totals.(p) + bits;
   if not (Hashtbl.mem t.round_peers.(p) other) then
@@ -208,42 +222,50 @@ let end_round t ~round =
   t.rounds_seen <- t.rounds_seen + 1;
   let max_bits = ref 0 and sum_bits = ref 0 and active = ref 0 in
   let max_loc = ref 0 and viols = ref 0 in
-  for p = 0 to t.a_n - 1 do
-    if honest t p then begin
-      let bits = t.round_bits.(p) in
-      let loc = Hashtbl.length t.round_peers.(p) in
-      if bits > !max_bits then max_bits := bits;
-      sum_bits := !sum_bits + bits;
-      if loc > !max_loc then max_loc := loc;
-      if bits > 0 || loc > 0 then incr active;
-      if
-        check t ~party:p ~round ~kind:Round_bits ~observed:(float_of_int bits)
-          t.a_budgets.round_bits
-      then incr viols;
-      if
-        check t ~party:p ~round ~kind:Round_locality
-          ~observed:(float_of_int loc) t.a_budgets.round_locality
-      then incr viols
-    end
-  done;
+  (* Untouched parties have zero bits and locality this round: they cannot
+     violate a (positive) budget, don't contribute to max/sum/active, so
+     only touched parties need visiting. Ascending order keeps violation
+     records in the same order the dense scan produced. *)
+  let touched = List.sort compare t.touched in
+  List.iter
+    (fun p ->
+      if honest t p then begin
+        let bits = t.round_bits.(p) in
+        let loc = Hashtbl.length t.round_peers.(p) in
+        if bits > !max_bits then max_bits := bits;
+        sum_bits := !sum_bits + bits;
+        if loc > !max_loc then max_loc := loc;
+        if bits > 0 || loc > 0 then incr active;
+        if
+          check t ~party:p ~round ~kind:Round_bits ~observed:(float_of_int bits)
+            t.a_budgets.round_bits
+        then incr viols;
+        if
+          check t ~party:p ~round ~kind:Round_locality
+            ~observed:(float_of_int loc) t.a_budgets.round_locality
+        then incr viols
+      end)
+    touched;
   if !max_bits > t.max_round_bits then t.max_round_bits <- !max_bits;
   if !max_loc > t.max_round_locality then t.max_round_locality <- !max_loc;
-  let honest_n =
-    Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 t.corrupt
-  in
   t.timeline_rev <-
     {
       tr_round = round;
       tr_phase = current_phase t;
       tr_max_bits = !max_bits;
-      tr_mean_bits = float_of_int !sum_bits /. float_of_int (max 1 honest_n);
+      tr_mean_bits = float_of_int !sum_bits /. float_of_int (max 1 t.honest_n);
       tr_active = !active;
       tr_max_locality = !max_loc;
       tr_violations = !viols;
     }
     :: t.timeline_rev;
-  Array.fill t.round_bits 0 t.a_n 0;
-  Array.iter Hashtbl.reset t.round_peers
+  List.iter
+    (fun p ->
+      t.round_bits.(p) <- 0;
+      Hashtbl.reset t.round_peers.(p);
+      t.touched_mark.(p) <- false)
+    touched;
+  t.touched <- []
 
 let finalize t =
   if not t.finalized then begin

@@ -136,3 +136,41 @@ let decode data f =
   with
   | v -> Some v
   | exception Malformed _ -> None
+
+(* The network delivers the *same* payload buffer to every recipient of a
+   multicast (it never copies), and distinct senders frequently encode the
+   very same content (e.g. every committee member forwarding the agreed
+   certificate). Hot receive paths therefore decode each *content* once and
+   share the result across all recipients and all content-equal copies.
+
+   Decoding is deterministic and results are treated as immutable
+   downstream, so sharing never changes behaviour — it collapses the
+   decode-copy allocation from O(recipients) to O(distinct contents), and
+   as a bonus makes physical-identity grouping (e.g. majority tallying)
+   hit for values that arrived via different senders.
+
+   Lookup is content-addressed but cheap: buffers hash by (length, last 8
+   bytes); within a bucket, physical identity short-circuits before the
+   full byte comparison. The cache is unbounded by design — create the
+   closure per protocol phase so its lifetime (and the retained decoded
+   values, one per distinct content) is bounded by the phase. *)
+let memo_decode f =
+  let cache : (int * int64, (bytes * 'a option) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let fingerprint b =
+    let len = Bytes.length b in
+    let tail = if len >= 8 then Bytes.get_int64_le b (len - 8) else 0L in
+    (len, tail)
+  in
+  fun data ->
+    let key = fingerprint data in
+    let bucket = try Hashtbl.find cache key with Not_found -> [] in
+    match
+      List.find_opt (fun (k, _) -> k == data || Bytes.equal k data) bucket
+    with
+    | Some (_, v) -> v
+    | None ->
+        let v = decode data f in
+        Hashtbl.replace cache key ((data, v) :: bucket);
+        v

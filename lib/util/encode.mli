@@ -44,3 +44,12 @@ val expect_end : source -> unit
 val decode : bytes -> (source -> 'a) -> 'a option
 (** [decode data f] parses with [f], requiring all input consumed; [None] on
     any malformation. This is the entry point for parsing untrusted bytes. *)
+
+val memo_decode : (source -> 'a) -> bytes -> 'a option
+(** [memo_decode f] is {!decode} memoized by input *content*: the network
+    delivers one shared payload buffer to every multicast recipient, and
+    distinct senders often encode identical content, so receive loops share
+    a single decoded value per distinct content instead of copying per
+    delivery. Decoding is deterministic, so sharing never affects results,
+    only allocation. The cache is unbounded — create the closure per
+    protocol phase (not globally) so its lifetime bounds retention. *)

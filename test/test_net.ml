@@ -314,6 +314,72 @@ let test_msgs_recv_counted () =
   Alcotest.(check int) "receiver msg count" 2 (Metrics.party_msgs_recv m 1);
   Alcotest.(check int) "sender received none" 0 (Metrics.party_msgs_recv m 0)
 
+(* --- Wire canonical byte form: QCheck round-trip properties --- *)
+
+(* Messages as the simulator produces them: non-negative endpoints,
+   arbitrary tag text, payloads from empty through oversized (well past
+   any single protocol message this repo emits) — the size distribution
+   is skewed so 0 and the large extreme both actually occur. *)
+let gen_msg =
+  QCheck.Gen.(
+    let* src = int_bound 100_000 in
+    let* dst = int_bound 100_000 in
+    let* tag = string_size ~gen:printable (int_bound 40) in
+    let* payload_len =
+      oneof [ return 0; int_bound 64; int_bound 4096; return 1_000_000 ]
+    in
+    let+ seed = int_bound 255 in
+    {
+      Wire.src;
+      dst;
+      tag;
+      payload = Bytes.init payload_len (fun i -> Char.chr ((i + seed) land 0xff));
+    })
+
+let print_msg (m : Wire.msg) =
+  Printf.sprintf "%d->%d [%s] %dB" m.src m.dst m.tag (Bytes.length m.payload)
+
+let arb_msg = QCheck.make ~print:print_msg gen_msg
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire: decode (encode m) = m (payloads 0..1MB)"
+    ~count:60 arb_msg (fun m ->
+      match Wire.decode (Wire.encode m) with
+      | None -> false
+      | Some m' ->
+        m'.Wire.src = m.Wire.src && m'.Wire.dst = m.Wire.dst
+        && m'.Wire.tag = m.Wire.tag
+        && Bytes.equal m'.Wire.payload m.Wire.payload)
+
+(* Decoding is total on adversarial input: truncations and corruptions of a
+   valid encoding (including length-prefix bytes, making the payload claim
+   more bytes than exist) return None or a msg — never an exception. *)
+let prop_wire_decode_total =
+  QCheck.Test.make ~name:"wire: decode never raises on mangled input"
+    ~count:200
+    QCheck.(triple arb_msg (int_bound 1_000_000) (int_bound 255))
+    (fun (m, pos, byte) ->
+      let enc = Wire.encode m in
+      let len = Bytes.length enc in
+      (* truncate at pos *)
+      let trunc = Bytes.sub enc 0 (min pos len) in
+      ignore (Wire.decode trunc);
+      (* flip a byte at pos *)
+      let mangled = Bytes.copy enc in
+      Bytes.set mangled (pos mod len) (Char.chr byte);
+      ignore (Wire.decode mangled);
+      (* appending trailing garbage must be rejected *)
+      Wire.decode (Bytes.cat enc (Bytes.of_string "x")) = None)
+
+let test_wire_encode_stable () =
+  (* One pinned vector so the canonical byte form cannot drift silently:
+     varint src, varint dst, len-prefixed tag, len-prefixed payload. *)
+  let m = { Wire.src = 1; dst = 300; tag = "t"; payload = Bytes.of_string "ab" } in
+  let enc = Wire.encode m in
+  Alcotest.(check string) "canonical bytes" "\x01\xac\x02\x01t\x02ab"
+    (Bytes.to_string enc);
+  Alcotest.(check bool) "round-trips" true (Wire.decode enc = Some m)
+
 let suite =
   [
     Alcotest.test_case "delivery next round" `Quick test_delivery_next_round;
@@ -332,4 +398,7 @@ let suite =
     Alcotest.test_case "report json keys" `Quick test_report_json_keys_stable;
     Alcotest.test_case "breakdown json" `Quick test_breakdown_json_sorted;
     Alcotest.test_case "msgs recv" `Quick test_msgs_recv_counted;
+    Alcotest.test_case "wire encode stable" `Quick test_wire_encode_stable;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    QCheck_alcotest.to_alcotest prop_wire_decode_total;
   ]

@@ -158,6 +158,56 @@ end
 module Ex_owf = Exercise (Srds_owf)
 module Ex_snark = Exercise (Srds_snark)
 module Ex_vrf = Exercise (Srds_vrf)
+module Ex_ms = Exercise (Baseline_multisig)
+
+(* --- scheme-operation counter shape (REPRO_COUNTERS contract) ---
+
+   Every SCHEME instance exports <name>.{keygen,sign,aggregate,verify}
+   counters whose values are a deterministic function of the logical work:
+   one keygen per party, one sign per attempt (sortition losers included),
+   one aggregate per aggregate1 call, one verify per verify call. The
+   bench regression gate diffs these, so their shape is part of the
+   interface — pinned here for the two schemes the protocol suite doesn't
+   otherwise meter. *)
+let test_scheme_counter_shape () =
+  let module C = Repro_obs.Counters in
+  let was = C.is_enabled () in
+  C.enable ();
+  C.reset ();
+  let check_scheme (type p m k s) scheme_name
+      (module S : Srds_intf.SCHEME
+        with type pp = p and type master = m and type sk = k
+         and type signature = s) ~n ~seed =
+    let rng = Rng.create seed in
+    let pp, master = S.setup rng ~n in
+    let keys = Array.init n (fun i -> S.keygen pp master rng ~index:i) in
+    let vks = Array.map fst keys in
+    let sigs =
+      List.filter_map
+        (fun i -> S.sign pp (snd keys.(i)) ~index:i ~msg)
+        (List.init n (fun i -> i))
+    in
+    (match S.aggregate2 pp ~msg (S.aggregate1 pp ~vks ~msg sigs) with
+    | Some agg ->
+      Alcotest.(check bool)
+        (scheme_name ^ ": aggregate verifies")
+        true
+        (S.verify pp ~vks ~msg agg)
+    | None -> Alcotest.fail (scheme_name ^ ": aggregation failed"));
+    let snap = C.snapshot () in
+    let v key = Option.value ~default:0 (List.assoc_opt key snap) in
+    Alcotest.(check int) (scheme_name ^ ".keygen = n") n (v (scheme_name ^ ".keygen"));
+    Alcotest.(check int)
+      (scheme_name ^ ".sign counts every attempt")
+      n
+      (v (scheme_name ^ ".sign"));
+    Alcotest.(check int) (scheme_name ^ ".aggregate") 1 (v (scheme_name ^ ".aggregate"));
+    Alcotest.(check int) (scheme_name ^ ".verify") 1 (v (scheme_name ^ ".verify"));
+    C.reset ()
+  in
+  check_scheme "baseline-multisig" (module Baseline_multisig) ~n:60 ~seed:21;
+  check_scheme "srds-vrf" (module Srds_vrf) ~n:120 ~seed:22;
+  if not was then C.disable ()
 
 (* --- scheme-specific --- *)
 
@@ -332,6 +382,10 @@ let suite =
   Ex_owf.suite "owf"
   @ Ex_snark.suite "snark"
   @ Ex_vrf.suite "vrf"
+  @ Ex_ms.suite "multisig"
+  @ [
+      Alcotest.test_case "scheme counter shape" `Quick test_scheme_counter_shape;
+    ]
   @ [
       Alcotest.test_case "fig1 robustness vrf" `Quick test_robustness_vrf;
       Alcotest.test_case "fig2 forgery vrf" `Quick test_forgery_vrf_fails;

@@ -1,5 +1,5 @@
 .PHONY: build test bench bench-smoke bench-compare audit attack trace \
-  scale scale-smoke check clean
+  scale scale-smoke profile profile-smoke check clean
 
 build:
 	dune build
@@ -66,14 +66,30 @@ scale-smoke: build
 	python3 -m json.tool SCALE_report.json > /dev/null && \
 	  echo "SCALE_report.json: valid JSON"
 
+# Self-profiled BA run: per-span GC/alloc hotspot tables, cache and pool
+# introspection, and a validated repro-profile/1 report.
+profile: build
+	./_build/default/bin/ba_sim.exe profile -p owf -n 256 --report PROFILE_report.json
+	python3 -m json.tool PROFILE_report.json > /dev/null && \
+	  echo "PROFILE_report.json: valid JSON"
+
+# <30s variant for CI and `make check`: a small profiled run, then a second
+# run compared against the fresh report — deterministic sections are exact,
+# so the self-compare must exit 0.
+profile-smoke: build
+	./_build/default/bin/ba_sim.exe profile -p owf -n 64 --report PROFILE_report.json
+	python3 -m json.tool PROFILE_report.json > /dev/null && \
+	  echo "PROFILE_report.json: valid JSON"
+	./_build/default/bin/ba_sim.exe profile -p owf -n 64 --compare PROFILE_report.json
+
 # Umbrella gate: build, unit tests, bench JSON smoke, attack matrix, scale
-# sweep smoke — everything a PR must keep green, with a wall-clock guard so
-# a performance regression in any harness fails the target rather than
-# silently eating CI minutes.
+# sweep smoke, profile smoke — everything a PR must keep green, with a
+# wall-clock guard so a performance regression in any harness fails the
+# target rather than silently eating CI minutes.
 CHECK_BUDGET_S ?= 420
 check: build
 	@t0=$$(date +%s); \
-	$(MAKE) test bench-smoke attack scale-smoke || exit 1; \
+	$(MAKE) test bench-smoke attack scale-smoke profile-smoke || exit 1; \
 	t1=$$(date +%s); elapsed=$$((t1 - t0)); \
 	echo "check: all gates green in $${elapsed}s (budget $(CHECK_BUDGET_S)s)"; \
 	if [ $$elapsed -gt $(CHECK_BUDGET_S) ]; then \
@@ -84,4 +100,4 @@ check: build
 clean:
 	dune clean
 	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl \
-	  ATTACK_report.json SCALE_report.json
+	  ATTACK_report.json SCALE_report.json PROFILE_report.json

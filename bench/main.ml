@@ -37,10 +37,12 @@ let section title =
    the repo deliberately has no JSON dependency for output (reading back is
    Repro_util.Json). Each experiment carries its wall time, the full
    crypto-operation counter snapshot accumulated while it ran (the registry
-   is reset between experiments), and separately the deterministic subset —
-   the counters [--compare] gates regressions on, stable across pool sizes
-   and machines. *)
-let experiment_times : (string * float * string * string) list ref = ref []
+   is reset between experiments), separately the deterministic subset — the
+   counters [--compare] gates regressions on, stable across pool sizes and
+   machines — and (schema /5) a GC allocation profile: machine context like
+   wall time, never gated. *)
+let experiment_times : (string * float * string * string * string) list ref =
+  ref []
 let table1_json_rows : string list ref = ref []
 let scale_json_rows : string list ref = ref []
 
@@ -86,7 +88,7 @@ let scale_point_to_json ~cap (sp : Runner.scale_point) =
 let write_results ~total_wall_s =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-bench/4\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/5\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
@@ -95,12 +97,12 @@ let write_results ~total_wall_s =
   Buffer.add_string buf "  \"experiments\": [\n";
   let times = List.rev !experiment_times in
   List.iteri
-    (fun i (name, dt, counters, det) ->
+    (fun i (name, dt, counters, det, profile) ->
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": \"%s\", \"wall_s\": %.2f, \"counters\": %s, \
-            \"det_counters\": %s}%s\n"
-           (json_escape name) dt counters det
+            \"det_counters\": %s, \"profile\": %s}%s\n"
+           (json_escape name) dt counters det profile
            (if i = List.length times - 1 then "" else ",")))
     times;
   Buffer.add_string buf "  ],\n";
@@ -134,9 +136,11 @@ let write_results ~total_wall_s =
 
 let timed_experiment name f =
   Repro_obs.Counters.reset ();
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   f ();
   let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
   let counters =
     Repro_obs.Counters.snapshot_to_json (Repro_obs.Counters.snapshot ())
   in
@@ -144,7 +148,19 @@ let timed_experiment name f =
     Repro_obs.Counters.snapshot_to_json
       (Repro_obs.Counters.deterministic_snapshot ())
   in
-  experiment_times := (name, dt, counters, det) :: !experiment_times
+  (* Caller-domain GC delta over the experiment (worker-domain allocation is
+     not included; Gc.quick_stat minor counters are per-domain). *)
+  let profile =
+    Printf.sprintf
+      "{\"minor_words\": %.0f, \"promoted_words\": %.0f, \"major_words\": \
+       %.0f, \"minor_collections\": %d, \"major_collections\": %d}"
+      (g1.Gc.minor_words -. g0.Gc.minor_words)
+      (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+      (g1.Gc.major_words -. g0.Gc.major_words)
+      (g1.Gc.minor_collections - g0.Gc.minor_collections)
+      (g1.Gc.major_collections - g0.Gc.major_collections)
+  in
+  experiment_times := (name, dt, counters, det, profile) :: !experiment_times
 
 (* ------------------------------------------------------------------ *)
 (* T1/E1: Table 1, measured                                            *)
@@ -917,16 +933,27 @@ module Compare = struct
     | Ok v -> v
     | Error e -> failwith (Printf.sprintf "%s: %s" path e)
 
-  let opt_member path keys j =
-    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some j) keys
-    |> function
-    | Some v -> v
-    | None -> failwith (Printf.sprintf "%s: missing %s" path (String.concat "." keys))
+  (* A file written by an older harness predates some sections (schema /3
+     added det_counters, /4 scale, /5 profile). A missing section makes that
+     comparison "not comparable" — noted and skipped, never a crash and
+     never a false regression. *)
+  let section path key j =
+    match J.member key j with
+    | Some v -> Some v
+    | None ->
+      Printf.printf "  (%s: no \"%s\" section; not comparable, skipped)\n"
+        path key;
+      None
 
-  (* name -> (wall_s, det counter assoc or None for pre-schema/3 files) *)
+  let schema_of j =
+    Option.value ~default:"pre-schema/1"
+      (Option.bind (J.member "schema" j) J.to_string)
+
+  (* name -> (wall_s, det counter assoc or None for pre-schema/3 files,
+     profile minor_words or None for pre-schema/5 files) *)
   let experiments path j =
-    opt_member path [ "experiments" ] j
-    |> J.to_list
+    section path "experiments" j
+    |> Fun.flip Option.bind J.to_list
     |> Option.value ~default:[]
     |> List.filter_map (fun e ->
            match (J.member "name" e, J.member "wall_s" e) with
@@ -940,16 +967,21 @@ module Compare = struct
                       kvs)
                | _ -> None
              in
+             let alloc =
+               Option.bind (J.member "profile" e) (fun p ->
+                   Option.bind (J.member "minor_words" p) J.to_float)
+             in
              Some
                ( Option.value ~default:"?" (J.to_string name),
                  Option.value ~default:0.0 (J.to_float wall),
-                 det )
+                 det,
+                 alloc )
            | _ -> None)
 
   (* (protocol, n) -> (total_bytes, max_bytes) *)
   let table1 path j =
-    opt_member path [ "table1" ] j
-    |> J.to_list
+    section path "table1" j
+    |> Fun.flip Option.bind J.to_list
     |> Option.value ~default:[]
     |> List.filter_map (fun r ->
            match
@@ -984,6 +1016,7 @@ module Compare = struct
     in
     Printf.printf "bench compare: %s -> %s (threshold %.1f%%)\n" prev_path
       cur_path threshold;
+    Printf.printf "  schemas: %s -> %s\n" (schema_of prev) (schema_of cur);
 
     (* Table 1 rows: the per-party and total byte costs. *)
     let t1_prev = table1 prev_path prev and t1_cur = table1 cur_path cur in
@@ -1013,23 +1046,24 @@ module Compare = struct
       t1_prev;
     Tablefmt.print tbl;
 
-    (* Experiments: wall time (context) + deterministic counters (gated). *)
+    (* Experiments: wall time and GC allocation (context) + deterministic
+       counters (gated). *)
     let ex_prev = experiments prev_path prev
     and ex_cur = experiments cur_path cur in
     let tbl =
       Tablefmt.create ~title:"experiments"
         ~headers:
-          [ "experiment"; "wall prev"; "wall cur"; "d wall";
+          [ "experiment"; "wall prev"; "wall cur"; "d wall"; "d alloc";
             "det counters regressed" ]
-        ~aligns:[ Tablefmt.Left; Right; Right; Right; Left ]
+        ~aligns:[ Tablefmt.Left; Right; Right; Right; Right; Left ]
     in
     List.iter
-      (fun (name, wall_p, det_p) ->
+      (fun (name, wall_p, det_p, alloc_p) ->
         match
-          List.find_opt (fun (n, _, _) -> n = name) ex_cur
+          List.find_opt (fun (n, _, _, _) -> n = name) ex_cur
         with
         | None -> ()
-        | Some (_, wall_c, det_c) ->
+        | Some (_, wall_c, det_c, alloc_c) ->
           let counter_note =
             match (det_p, det_c) with
             | Some dp, Some dc ->
@@ -1058,12 +1092,19 @@ module Compare = struct
               Printf.sprintf "%+.1f%%" (100.0 *. (wall_c -. wall_p) /. wall_p)
             else "-"
           in
+          let d_alloc =
+            match (alloc_p, alloc_c) with
+            | Some ap, Some ac when ap > 0.0 ->
+              Printf.sprintf "%+.1f%%" (100.0 *. (ac -. ap) /. ap)
+            | _ -> "-" (* pre-schema/5 file on either side *)
+          in
           Tablefmt.add_row tbl
             [
               name;
               Printf.sprintf "%.2fs" wall_p;
               Printf.sprintf "%.2fs" wall_c;
               d_wall;
+              d_alloc;
               counter_note;
             ])
       ex_prev;

@@ -8,7 +8,8 @@
      sweep      scaling sweep with fitted growth exponents
      games      the Fig. 1 / Fig. 2 security games over the attack portfolio
      boost      the one-shot boost experiment (E11) and the Thm-1.3 attack
-     broadcast  the Cor. 1.2 amortization experiment *)
+     broadcast  the Cor. 1.2 amortization experiment
+     profile    self-profile one cell: hotspots, caches, pool utilization *)
 
 open Cmdliner
 open Repro_core
@@ -661,6 +662,113 @@ let breakdown_cmd =
     (Cmd.info "breakdown" ~doc:"Per-phase communication breakdown (E13).")
     Term.(const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg)
 
+(* --- profile --- *)
+
+let profile_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable profile report (schema repro-profile/1; \
+           the deterministic section is byte-identical across reruns and \
+           REPRO_DOMAINS settings).")
+
+let profile_compare_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compare" ] ~docv:"PREV.json"
+        ~doc:
+          "Compare the deterministic metrics against a previous \
+           repro-profile/1 report; non-zero exit when any regresses past \
+           --threshold. A structurally incompatible previous file (older \
+           schema) is reported as not comparable, never as a failure.")
+
+let profile_threshold_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "threshold" ] ~docv:"FRAC"
+        ~doc:
+          "Relative drift tolerated by --compare (deterministic metrics are \
+           exact, so the default is 0: any change is a regression).")
+
+let profile_top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"Rows per hotspot table.")
+
+let profile_cmd =
+  let action protocol n beta seed report_out compare_prev threshold top =
+    let row, wall, gc = Runner.run_profiled ~protocol ~n ~beta ~seed in
+    Printf.printf
+      "%s n=%d beta=%.2f: rounds=%d wall=%.2fs minor=%.1fMw major=%.1fMw \
+       gcs=%d/%d ok=%b\n"
+      row.Runner.r_protocol row.Runner.r_n row.Runner.r_beta
+      row.Runner.r_rounds wall
+      (gc.Repro_obs.Trace.g_minor_words /. 1e6)
+      (gc.Repro_obs.Trace.g_major_words /. 1e6)
+      gc.Repro_obs.Trace.g_minor_collections
+      gc.Repro_obs.Trace.g_major_collections row.Runner.r_ok;
+    print_string (Repro_obs.Profile.render_hotspots ~top ());
+    (* Pool utilization: slot 0 is the caller, the rest worker domains. *)
+    let util = Repro_util.Parallel.utilization () in
+    Printf.printf "pool utilization (%d domain(s)):\n"
+      (Repro_util.Parallel.domains ());
+    Array.iteri
+      (fun i (tasks, busy) ->
+        Printf.printf "  slot %d (%s): %6d tasks %10.3f s busy (%.0f%% of wall)\n"
+          i
+          (if i = 0 then "caller" else "worker")
+          tasks busy
+          (100.0 *. busy /. Float.max 1e-9 wall))
+      util;
+    let report =
+      Repro_obs.Profile.report_json
+        ~protocol:row.Runner.r_protocol ~n ~beta ~seed ~wall_s:wall
+        ~domains:(Repro_util.Parallel.domains ())
+        ~gc ~top ()
+    in
+    (match report_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc report;
+      close_out oc;
+      Printf.printf "report written to %s\n" file
+    | None -> ());
+    match compare_prev with
+    | None -> ()
+    | Some prev_file ->
+      let prev =
+        let ic = open_in_bin prev_file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      (match Runner.profile_compare ~prev ~cur:report ~threshold with
+      | Error note -> Printf.printf "compare: %s\n" note
+      | Ok [] ->
+        Printf.printf
+          "compare: deterministic metrics match %s (threshold %.3f)\n"
+          prev_file threshold
+      | Ok regressions ->
+        Printf.printf "compare: %d deterministic regression(s) vs %s:\n"
+          (List.length regressions) prev_file;
+        List.iter (fun l -> Printf.printf "  %s\n" l) regressions;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Self-profile one (protocol, n) cell: per-span wall/alloc hotspots, \
+          cache effectiveness, scheduler occupancy and domain-pool \
+          utilization; optional repro-profile/1 report and deterministic \
+          regression gate (--compare).")
+    Term.(
+      const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg
+      $ profile_report_arg $ profile_compare_arg $ profile_threshold_arg
+      $ profile_top_arg)
+
 let () =
   let info =
     Cmd.info "ba_sim" ~version:"1.0"
@@ -670,4 +778,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; audit_cmd; attack_cmd; table1_cmd; sweep_cmd; scale_cmd;
-            games_cmd; boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd ]))
+            games_cmd; boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd;
+            profile_cmd ]))

@@ -17,6 +17,12 @@
 module Network = Repro_net.Network
 module Wire = Repro_net.Wire
 
+(* Per-node encode-cache effectiveness during dissemination. The cache is
+   per-execution state driven by the committee schedule — pool-size
+   independent, so both counters register deterministic. *)
+let c_enc_hit = Repro_obs.Counters.make "aecomm.enc_hit"
+let c_enc_miss = Repro_obs.Counters.make "aecomm.enc_miss"
+
 type t = {
   tree : Tree.t;
   memberships : (int * int) list array; (* party -> internal nodes (level, idx) *)
@@ -165,8 +171,11 @@ let disseminate ?adversary net t ~label ~values =
         l
     in
     match List.find_opt (fun (k, _) -> k == v) !entries with
-    | Some (_, e) -> e
+    | Some (_, e) ->
+      Repro_obs.Counters.bump c_enc_hit;
+      e
     | None ->
+      Repro_obs.Counters.bump c_enc_miss;
       let e =
         Repro_util.Encode.to_bytes (fun b ->
             Repro_util.Encode.varint b level;

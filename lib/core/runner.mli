@@ -216,3 +216,30 @@ val scale_json : scale_result list -> string
 val scale_table : scale_result list -> Repro_util.Tablefmt.t
 (** Render: one row per point (p99 vs budget, violation count), the fitted
     p99 growth exponent on each protocol's last row. *)
+
+(** {1 Self-profiling ([ba_sim profile])} *)
+
+val run_profiled :
+  protocol:protocol ->
+  n:int ->
+  beta:float ->
+  seed:int ->
+  row * float * Repro_obs.Trace.gc_delta
+(** Run one cell with full observability on — counters, spans with Gc
+    capture, pool utilization — after resetting all of it (and clearing the
+    domain-local digest caches, so cache counters start cold and reruns
+    produce identical deterministic sections). Returns the row, the wall
+    time in seconds, and the whole-run Gc delta of the calling domain.
+    Collection stays enabled on return: read {!Repro_obs.Profile} /
+    {!Repro_obs.Counters} to build the report. *)
+
+val profile_compare :
+  prev:string -> cur:string -> threshold:float -> (string list, string) result
+(** Regression gate over the deterministic halves of two [repro-profile/1]
+    documents (raw file contents). [Ok []] = no regression; [Ok lines] =
+    deterministic metrics (counters, histogram count/sum, span counts
+    present in both) drifted past [threshold] relative change in either
+    direction; [Error note] = the reports are structurally not comparable
+    (unparseable, wrong schema, missing deterministic section — e.g. a
+    previous report predating a schema bump), which callers must not treat
+    as a failure. *)

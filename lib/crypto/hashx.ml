@@ -39,6 +39,16 @@ let c_hash = Repro_obs.Counters.make "hashx.hash"
 let c_hit = Repro_obs.Counters.make ~deterministic:false "hashx.cache_hit"
 let c_miss = Repro_obs.Counters.make ~deterministic:false "hashx.cache_miss"
 
+(* Occupancy of the calling domain's table only — the pool workers' tables
+   are invisible from the caller, hence nondeterministic. *)
+let () =
+  Repro_obs.Profile.register_probe ~name:"hashx" ~deterministic:false
+    (fun () ->
+      [
+        ("cache_entries", Hashtbl.length (Domain.DLS.get cache));
+        ("cache_limit", cache_limit);
+      ])
+
 let hash ~tag parts =
   Repro_obs.Counters.bump c_hash;
   let total = List.fold_left (fun acc p -> acc + Bytes.length p) 0 parts in

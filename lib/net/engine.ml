@@ -24,6 +24,11 @@ let instance_tag tag inst = tag ^ "/" ^ inst
 (* Messages handed to an instance's [m_recv] across all engine executions. *)
 let c_msgs = Repro_obs.Counters.make "engine.msgs"
 
+(* Depth of each dirty inbox as the engine dispatches it: how many wire
+   messages one party had to demultiplex in one round. Delivery-schedule
+   driven, hence deterministic. *)
+let h_inbox = Repro_obs.Counters.histogram "engine.inbox_depth"
+
 (* Allocation-free prefix test: engine dispatch runs once per delivered
    message, so the "tag/" match must not build substrings just to compare. *)
 let has_prefix ~tag full =
@@ -96,31 +101,33 @@ let run net ?adversary ~tag ~rounds ~(machines : int -> (string * machine) list)
   let handler p tbl ~round ~inbox =
     let local = round - start in
     (* Dispatch last round's deliveries per instance, preserving order. *)
-    if local > 0 then begin
-      let by_inst = Hashtbl.create 8 in
-      List.iter
-        (fun (m : Wire.msg) ->
-          match split m.tag with
-          | None -> () (* other phase's leftovers: ignore *)
-          | Some inst ->
-            if Hashtbl.mem tbl inst then begin
-              Repro_obs.Counters.bump c_msgs;
-              Hashtbl.replace by_inst inst
-                ((m.src, m.payload)
-                :: (try Hashtbl.find by_inst inst with Not_found -> []))
-            end)
-        inbox;
-      Hashtbl.iter
-        (fun inst msgs ->
-          let m = Hashtbl.find tbl inst in
-          m.m_recv ~round:(local - 1) (List.rev msgs))
-        by_inst;
-      (* Instances that received nothing still observe the round. *)
-      Hashtbl.iter
-        (fun inst m ->
-          if not (Hashtbl.mem by_inst inst) then m.m_recv ~round:(local - 1) [])
-        tbl
-    end;
+    if local > 0 then
+      Repro_obs.Trace.span ~cat:"engine" "engine.dispatch" (fun () ->
+          Repro_obs.Counters.observe h_inbox (List.length inbox);
+          let by_inst = Hashtbl.create 8 in
+          List.iter
+            (fun (m : Wire.msg) ->
+              match split m.tag with
+              | None -> () (* other phase's leftovers: ignore *)
+              | Some inst ->
+                if Hashtbl.mem tbl inst then begin
+                  Repro_obs.Counters.bump c_msgs;
+                  Hashtbl.replace by_inst inst
+                    ((m.src, m.payload)
+                    :: (try Hashtbl.find by_inst inst with Not_found -> []))
+                end)
+            inbox;
+          Hashtbl.iter
+            (fun inst msgs ->
+              let m = Hashtbl.find tbl inst in
+              m.m_recv ~round:(local - 1) (List.rev msgs))
+            by_inst;
+          (* Instances that received nothing still observe the round. *)
+          Hashtbl.iter
+            (fun inst m ->
+              if not (Hashtbl.mem by_inst inst) then
+                m.m_recv ~round:(local - 1) [])
+            tbl);
     if local < rounds then
       Hashtbl.iter
         (fun inst m ->

@@ -74,6 +74,13 @@ let corrupt_parties t = List.filter (is_corrupt t) (List.init t.n (fun i -> i))
 
 let h_msg_bytes = Repro_obs.Counters.histogram "net.msg_bytes"
 
+(* Scheduler occupancy of the sparse engine, observed once per
+   [run_active] round: how many parties were armed, and how many inboxes
+   were dirty before the spontaneous actors were merged in. Both are
+   functions of the delivery schedule, hence deterministic. *)
+let h_active = Repro_obs.Counters.histogram "net.active_set"
+let h_dirty = Repro_obs.Counters.histogram "net.dirty_depth"
+
 (* Global transcript tap: observes every staged send, in send order, with
    the network round it was staged in. The golden-transcript regression test
    hashes the full trace through this hook; it sees exactly the traffic the
@@ -144,12 +151,18 @@ let finish_round t adversary =
 let step t ?(adversary = null_adversary) handlers =
   Repro_obs.Trace.span ~cat:"net" "net.round" @@ fun () ->
   Metrics.note_round t.metrics;
+  let scheduled = ref 0 in
   Array.iteri
     (fun i h ->
       match h with
-      | Some handler when is_honest t i -> handler ~round:t.round ~inbox:t.inboxes.(i)
+      | Some handler when is_honest t i ->
+        incr scheduled;
+        handler ~round:t.round ~inbox:t.inboxes.(i)
       | _ -> ())
     handlers;
+  Option.iter
+    (fun a -> Repro_obs.Audit.note_scheduled a !scheduled)
+    t.audit;
   finish_round t adversary
 
 let run t ?adversary ?stop ~rounds handlers =
@@ -173,10 +186,17 @@ let run t ?adversary ?stop ~rounds handlers =
 let step_parties t ?(adversary = null_adversary) parties =
   Repro_obs.Trace.span ~cat:"net" "net.round" @@ fun () ->
   Metrics.note_round t.metrics;
+  let scheduled = ref 0 in
   List.iter
     (fun (i, handler) ->
-      if is_honest t i then handler ~round:t.round ~inbox:t.inboxes.(i))
+      if is_honest t i then begin
+        incr scheduled;
+        handler ~round:t.round ~inbox:t.inboxes.(i)
+      end)
     parties;
+  Option.iter
+    (fun a -> Repro_obs.Audit.note_scheduled a !scheduled)
+    t.audit;
   finish_round t adversary
 
 let run_parties t ?adversary ?stop ~rounds parties =
@@ -200,20 +220,24 @@ let run_active t ?adversary ?stop ~rounds ~extra handler_of =
   let target = t.round + rounds in
   let rec go () =
     if t.round < target && not (stop ~round:t.round) then begin
-      (* Active set: parties with pending deliveries plus the protocol's
-         spontaneous actors for this round (e.g. initial broadcasters). *)
-      let active =
-        List.sort_uniq compare (List.rev_append t.dirty (extra ~round:t.round))
-      in
-      let parties =
-        List.filter_map
-          (fun i ->
-            if i < 0 || i >= t.n then
-              invalid_arg "Network.run_active: party index";
-            match handler_of i with Some h -> Some (i, h) | None -> None)
-          active
-      in
-      step_parties t ?adversary parties;
+      Repro_obs.Trace.span ~cat:"net" "net.sparse_round" (fun () ->
+          (* Active set: parties with pending deliveries plus the protocol's
+             spontaneous actors for this round (e.g. initial broadcasters). *)
+          let active =
+            List.sort_uniq compare
+              (List.rev_append t.dirty (extra ~round:t.round))
+          in
+          Repro_obs.Counters.observe h_dirty (List.length t.dirty);
+          Repro_obs.Counters.observe h_active (List.length active);
+          let parties =
+            List.filter_map
+              (fun i ->
+                if i < 0 || i >= t.n then
+                  invalid_arg "Network.run_active: party index";
+                match handler_of i with Some h -> Some (i, h) | None -> None)
+              active
+          in
+          step_parties t ?adversary parties);
       go ()
     end
   in

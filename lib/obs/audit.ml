@@ -62,6 +62,7 @@ type round_rec = {
   tr_max_bits : int;
   tr_mean_bits : float;
   tr_active : int;
+  tr_scheduled : int;
   tr_max_locality : int;
   tr_violations : int;
 }
@@ -94,6 +95,7 @@ type t = {
   mutable violations_rev : violation list;
   mutable violation_count : int;
   mutable timeline_rev : round_rec list;
+  mutable round_sched : int; (* parties the scheduler invoked this round *)
   mutable rounds_seen : int;
   mutable max_round_bits : int;
   mutable max_round_locality : int;
@@ -124,6 +126,7 @@ let create ?(label = "audit") ?(kappa = kappa_default) ~n ~budgets () =
     violations_rev = [];
     violation_count = 0;
     timeline_rev = [];
+    round_sched = 0;
     rounds_seen = 0;
     max_round_bits = 0;
     max_round_locality = 0;
@@ -192,6 +195,11 @@ let charge t p other bits =
 let note_send t ~src ~dst ~bits = charge t src dst bits
 let note_recv t ~src ~dst ~bits = charge t dst src bits
 
+(* Scheduler occupancy, reported once per round by the network stepper:
+   how many handlers it invoked (the armed set), as opposed to [tr_active],
+   which counts parties that actually moved bits. *)
+let note_scheduled t k = t.round_sched <- k
+
 let record t v =
   t.violations_rev <- v :: t.violations_rev;
   t.violation_count <- t.violation_count + 1;
@@ -255,10 +263,12 @@ let end_round t ~round =
       tr_max_bits = !max_bits;
       tr_mean_bits = float_of_int !sum_bits /. float_of_int (max 1 t.honest_n);
       tr_active = !active;
+      tr_scheduled = t.round_sched;
       tr_max_locality = !max_loc;
       tr_violations = !viols;
     }
     :: t.timeline_rev;
+  t.round_sched <- 0;
   List.iter
     (fun p ->
       t.round_bits.(p) <- 0;
@@ -350,9 +360,9 @@ let timeline_jsonl ?protocol t =
       | None -> Buffer.add_char buf '{');
       Buffer.add_string buf
         (Printf.sprintf
-           "\"round\":%d,\"phase\":\"%s\",\"max_bits\":%d,\"mean_bits\":%.1f,\"active\":%d,\"max_locality\":%d,\"violations\":%d}\n"
+           "\"round\":%d,\"phase\":\"%s\",\"max_bits\":%d,\"mean_bits\":%.1f,\"active\":%d,\"scheduled\":%d,\"max_locality\":%d,\"violations\":%d}\n"
            r.tr_round (json_escape r.tr_phase) r.tr_max_bits r.tr_mean_bits
-           r.tr_active r.tr_max_locality r.tr_violations))
+           r.tr_active r.tr_scheduled r.tr_max_locality r.tr_violations))
     (timeline t);
   Buffer.contents buf
 

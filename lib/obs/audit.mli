@@ -79,6 +79,12 @@ val set_corrupt : t -> bool array -> unit
 val note_send : t -> src:int -> dst:int -> bits:int -> unit
 val note_recv : t -> src:int -> dst:int -> bits:int -> unit
 
+val note_scheduled : t -> int -> unit
+(** Scheduler occupancy for the round being closed next: how many party
+    handlers the network stepper invoked (the armed set) — as opposed to
+    {!round_rec.tr_active}, which counts parties that actually moved bits.
+    Called once per round by the stepper; resets to 0 at [end_round]. *)
+
 val end_round : t -> round:int -> unit
 (** Close the network round: run the per-round budget checks for every
     honest party, append the timeline record, reset the per-round state. *)
@@ -111,6 +117,7 @@ type round_rec = {
   tr_max_bits : int;  (** max over honest parties, sent+received this round *)
   tr_mean_bits : float;
   tr_active : int;  (** honest parties that sent or received this round *)
+  tr_scheduled : int;  (** handlers the scheduler invoked ({!note_scheduled}) *)
   tr_max_locality : int;
   tr_violations : int;  (** violations detected in this round *)
 }
@@ -120,7 +127,7 @@ val timeline : t -> round_rec list
 val timeline_jsonl : ?protocol:string -> t -> string
 (** One JSON object per line, one line per round. Keys: [protocol] (when
     given), [round], [phase], [max_bits], [mean_bits], [active],
-    [max_locality], [violations]. *)
+    [scheduled], [max_locality], [violations]. *)
 
 (** {2 Observed aggregates (for reports and calibration)} *)
 

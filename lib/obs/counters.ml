@@ -15,6 +15,7 @@ type t = {
 
 type histogram = {
   h_name : string;
+  h_deterministic : bool;
   h_count : int Atomic.t;
   h_sum : int Atomic.t;
   buckets : int Atomic.t array; (* bucket i: values in [2^i, 2^(i+1)) *)
@@ -52,7 +53,7 @@ let bump c = if Atomic.get enabled then Atomic.incr c.v
 let add c k = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.v k)
 let value c = Atomic.get c.v
 
-let histogram name =
+let histogram ?(deterministic = true) name =
   Mutex.lock reg_mutex;
   let h =
     match List.find_opt (fun h -> h.h_name = name) !histograms with
@@ -61,6 +62,7 @@ let histogram name =
       let h =
         {
           h_name = name;
+          h_deterministic = deterministic;
           h_count = Atomic.make 0;
           h_sum = Atomic.make 0;
           buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
@@ -120,12 +122,17 @@ let pp_table ppf snap =
     (fun (name, v) -> Format.fprintf ppf "  %-*s %12d@." width name v)
     snap
 
-let histogram_snapshot () =
+let histogram_snapshot_of hs =
   List.map
     (fun h ->
       ( h.h_name,
         ( Atomic.get h.h_count,
           Atomic.get h.h_sum,
           Array.map Atomic.get h.buckets ) ))
-    !histograms
+    hs
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_snapshot () = histogram_snapshot_of !histograms
+
+let deterministic_histogram_snapshot () =
+  histogram_snapshot_of (List.filter (fun h -> h.h_deterministic) !histograms)

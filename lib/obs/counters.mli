@@ -57,8 +57,15 @@ type histogram
 (** Power-of-two bucketed histogram: bucket [i] counts observed values [v]
     with [2^i <= v < 2^(i+1)] (bucket 0 also takes [v <= 1]). *)
 
-val histogram : string -> histogram
+val histogram : ?deterministic:bool -> string -> histogram
+(** Register a histogram (default [deterministic:true], same contract as
+    counter determinism: distribution is a function of the logical work
+    only). Registering the same name twice returns the existing one. *)
+
 val observe : histogram -> int -> unit
 
 val histogram_snapshot : unit -> (string * (int * int * int array)) list
 (** Per histogram, sorted by name: (count, sum, buckets). *)
+
+val deterministic_histogram_snapshot : unit -> (string * (int * int * int array)) list
+(** Only the histograms whose distributions are pool-size independent. *)

@@ -1,0 +1,266 @@
+(* Performance-observability layer over the span machinery. See profile.mli.
+
+   Everything here is read-side: the instrumented libraries keep recording
+   into Trace buffers and Counters atomics as before; Profile aggregates
+   those into a per-path profile tree, pulls point-in-time introspection
+   values from registered probes, and renders/serialises the result with
+   deterministic fields (counts, cache hits, histograms, span shapes) kept
+   strictly apart from nondeterministic ones (wall time, allocated words). *)
+
+(* ---------- introspection probes ---------- *)
+
+type probe = {
+  pr_name : string;
+  pr_deterministic : bool;
+  pr_read : unit -> (string * int) list;
+}
+
+let probe_mutex = Mutex.create ()
+let probes : probe list ref = ref []
+
+let register_probe ~name ~deterministic read =
+  Mutex.lock probe_mutex;
+  probes :=
+    { pr_name = name; pr_deterministic = deterministic; pr_read = read }
+    :: List.filter (fun p -> p.pr_name <> name) !probes;
+  Mutex.unlock probe_mutex
+
+let read_probes ~deterministic () =
+  Mutex.lock probe_mutex;
+  let ps = List.filter (fun p -> p.pr_deterministic = deterministic) !probes in
+  Mutex.unlock probe_mutex;
+  List.map
+    (fun p ->
+      (* A probe that raises must not take the whole report down. *)
+      let kvs = try p.pr_read () with _ -> [] in
+      (p.pr_name, List.sort (fun (a, _) (b, _) -> compare a b) kvs))
+    ps
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---------- profile tree ---------- *)
+
+type row = {
+  p_path : string list; (* span nesting path, outermost first *)
+  p_count : int;
+  p_wall_us : float;
+  p_minor_words : float;
+  p_promoted_words : float;
+  p_major_words : float;
+  p_minor_collections : int;
+  p_major_collections : int;
+}
+
+(* Net words allocated: minor plus major, minus the double count of words
+   promoted out of the minor heap. *)
+let alloc_words r = r.p_minor_words +. r.p_major_words -. r.p_promoted_words
+
+let rows () =
+  let tbl : (string list, row) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let r =
+        match Hashtbl.find_opt tbl ev.Trace.e_path with
+        | Some r -> r
+        | None ->
+          {
+            p_path = ev.Trace.e_path;
+            p_count = 0;
+            p_wall_us = 0.;
+            p_minor_words = 0.;
+            p_promoted_words = 0.;
+            p_major_words = 0.;
+            p_minor_collections = 0;
+            p_major_collections = 0;
+          }
+      in
+      let r = { r with p_count = r.p_count + 1; p_wall_us = r.p_wall_us +. ev.Trace.e_dur } in
+      let r =
+        match ev.Trace.e_gc with
+        | None -> r
+        | Some g ->
+          {
+            r with
+            p_minor_words = r.p_minor_words +. g.Trace.g_minor_words;
+            p_promoted_words = r.p_promoted_words +. g.Trace.g_promoted_words;
+            p_major_words = r.p_major_words +. g.Trace.g_major_words;
+            p_minor_collections = r.p_minor_collections + g.Trace.g_minor_collections;
+            p_major_collections = r.p_major_collections + g.Trace.g_major_collections;
+          }
+      in
+      Hashtbl.replace tbl ev.Trace.e_path r)
+    (Trace.events ());
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.p_path b.p_path)
+
+let path_string path = String.concat ">" path
+
+let top_by ~top key rs =
+  List.sort (fun a b -> compare (key b) (key a)) rs |> fun sorted ->
+  List.filteri (fun i _ -> i < top) sorted
+
+let hotspots_by_wall ?(top = 10) rs = top_by ~top (fun r -> r.p_wall_us) rs
+let hotspots_by_alloc ?(top = 10) rs = top_by ~top alloc_words rs
+
+let render_table title cols rs =
+  let buf = Buffer.create 512 in
+  let path_w =
+    List.fold_left
+      (fun acc r -> max acc (String.length (path_string r.p_path)))
+      4 rs
+  in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s %8s %s\n" path_w "path" "count" cols);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s %8d %12.3f ms %14.0f w %6d mGC %4d MGC\n"
+           path_w (path_string r.p_path) r.p_count (r.p_wall_us /. 1e3)
+           (alloc_words r) r.p_minor_collections r.p_major_collections))
+    rs;
+  Buffer.contents buf
+
+let render_hotspots ?(top = 10) () =
+  let rs = rows () in
+  if rs = [] then "profile: no spans recorded (tracing off?)\n"
+  else
+    let cols = "        wall        alloc words   minor  major" in
+    render_table
+      (Printf.sprintf "hotspots by wall time (top %d):" top)
+      cols
+      (hotspots_by_wall ~top rs)
+    ^ "\n"
+    ^ render_table
+        (Printf.sprintf "hotspots by allocation (top %d):" top)
+        cols
+        (hotspots_by_alloc ~top rs)
+
+(* ---------- JSON ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_kv_object buf kvs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    kvs;
+  Buffer.add_char buf '}'
+
+let add_probes buf ps =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, kvs) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":" (json_escape name));
+      add_kv_object buf kvs)
+    ps;
+  Buffer.add_char buf '}'
+
+(* Buckets are serialised up to the last nonzero one so the arrays stay
+   short and adding trailing-empty buckets never changes the bytes. *)
+let add_histograms buf hs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, (count, sum, buckets)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let last = ref (-1) in
+      Array.iteri (fun j v -> if v > 0 then last := j) buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%d,\"buckets\":["
+           (json_escape name) count sum);
+      for j = 0 to !last do
+        if j > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int buckets.(j))
+      done;
+      Buffer.add_string buf "]}")
+    hs;
+  Buffer.add_char buf '}'
+
+let add_deterministic buf =
+  Buffer.add_string buf "{\"counters\":";
+  add_kv_object buf (Counters.deterministic_snapshot ());
+  Buffer.add_string buf ",\"histograms\":";
+  add_histograms buf (Counters.deterministic_histogram_snapshot ());
+  Buffer.add_string buf ",\"spans\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"path\":\"%s\",\"count\":%d}"
+           (json_escape (path_string r.p_path))
+           r.p_count))
+    (rows ());
+  Buffer.add_string buf "],\"probes\":";
+  add_probes buf (read_probes ~deterministic:true ());
+  Buffer.add_char buf '}'
+
+let deterministic_json () =
+  let buf = Buffer.create 1024 in
+  add_deterministic buf;
+  Buffer.contents buf
+
+let add_hotspot_list buf rs =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"path\":\"%s\",\"count\":%d,\"wall_ms\":%.3f,\"alloc_words\":%.0f}"
+           (json_escape (path_string r.p_path))
+           r.p_count (r.p_wall_us /. 1e3) (alloc_words r)))
+    rs;
+  Buffer.add_char buf ']'
+
+let report_json ~protocol ~n ~beta ~seed ~wall_s ~domains ~(gc : Trace.gc_delta)
+    ?(top = 10) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"repro-profile/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"protocol\": \"%s\",\n" (json_escape protocol));
+  Buffer.add_string buf (Printf.sprintf "  \"n\": %d,\n" n);
+  Buffer.add_string buf (Printf.sprintf "  \"beta\": %g,\n" beta);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf "  \"deterministic\": ";
+  add_deterministic buf;
+  Buffer.add_string buf ",\n  \"nondeterministic\": {";
+  Buffer.add_string buf (Printf.sprintf "\"wall_s\": %.6f" wall_s);
+  Buffer.add_string buf (Printf.sprintf ",\"domains\": %d" domains);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"gc\": {\"minor_words\":%.0f,\"promoted_words\":%.0f,\"major_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d}"
+       gc.Trace.g_minor_words gc.Trace.g_promoted_words gc.Trace.g_major_words
+       gc.Trace.g_minor_collections gc.Trace.g_major_collections);
+  let det_names =
+    List.map fst (Counters.deterministic_snapshot ()) |> List.sort_uniq compare
+  in
+  let nondet_counters =
+    List.filter
+      (fun (name, _) -> not (List.mem name det_names))
+      (Counters.snapshot ())
+  in
+  Buffer.add_string buf ",\"counters\": ";
+  add_kv_object buf nondet_counters;
+  Buffer.add_string buf ",\"probes\": ";
+  add_probes buf (read_probes ~deterministic:false ());
+  let rs = rows () in
+  Buffer.add_string buf ",\"hotspots_by_wall\": ";
+  add_hotspot_list buf (hotspots_by_wall ~top rs);
+  Buffer.add_string buf ",\"hotspots_by_alloc\": ";
+  add_hotspot_list buf (hotspots_by_alloc ~top rs);
+  Buffer.add_string buf "}\n}\n";
+  Buffer.contents buf

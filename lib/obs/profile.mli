@@ -1,0 +1,87 @@
+(** Self-profiling layer over {!Trace} spans and the {!Counters} registry.
+
+    Three ingredients:
+
+    - the {b profile tree}: {!Trace.events} aggregated by nesting path into
+      per-path call counts, wall time and (with {!Trace.set_gc_capture} on)
+      Gc quickstat deltas — allocation attributed to the span that did it;
+    - {b introspection probes}: named point-in-time readers registered by
+      the instrumented layers (domain-pool utilization from
+      [Repro_util.Parallel], digest-cache occupancy from
+      [Repro_crypto.Hashx]), sampled when a report is built;
+    - a {b report}: ASCII hotspot tables and the [repro-profile/1] JSON
+      document, with deterministic fields (counts, cache hits, histograms,
+      span shapes — identical for any [REPRO_DOMAINS]) kept strictly apart
+      from nondeterministic ones (wall time, allocated words, domain-local
+      cache stats), so the deterministic half can gate regressions
+      byte-for-byte. *)
+
+(** {1 Probes} *)
+
+val register_probe :
+  name:string -> deterministic:bool -> (unit -> (string * int) list) -> unit
+(** Register (or replace, by name) an introspection probe. The reader is
+    called when a report is built; a raising reader yields an empty list.
+    [deterministic] follows the {!Counters.make} contract: true only when
+    every reported value is a function of the logical work, independent of
+    the domain-pool size. *)
+
+val read_probes :
+  deterministic:bool -> unit -> (string * (string * int) list) list
+(** Sample every probe on the requested side of the determinism split,
+    sorted by probe name, each value list sorted by key. *)
+
+(** {1 Profile tree} *)
+
+type row = {
+  p_path : string list; (* span nesting path, outermost first *)
+  p_count : int;
+  p_wall_us : float;
+  p_minor_words : float;
+  p_promoted_words : float;
+  p_major_words : float;
+  p_minor_collections : int;
+  p_major_collections : int;
+}
+
+val alloc_words : row -> float
+(** Net words allocated under the path: minor + major - promoted (promoted
+    words appear in both minor and major totals). *)
+
+val rows : unit -> row list
+(** The recorded events aggregated by nesting path, sorted by path. Wall
+    and Gc fields are inclusive of children, like the spans themselves. *)
+
+val path_string : string list -> string
+(** Path rendered with [">"] separators, e.g. ["ba.run>net.round"]. *)
+
+val hotspots_by_wall : ?top:int -> row list -> row list
+val hotspots_by_alloc : ?top:int -> row list -> row list
+
+val render_hotspots : ?top:int -> unit -> string
+(** Two ASCII tables over the current trace buffer: top-[top] paths by
+    wall time and by allocated words. *)
+
+(** {1 Reports} *)
+
+val deterministic_json : unit -> string
+(** The deterministic half only — counters, histograms, span shape, and
+    deterministic probes — as one JSON object. Byte-identical across
+    reruns and [REPRO_DOMAINS] settings for the same logical run; the
+    determinism tests compare these strings directly. *)
+
+val report_json :
+  protocol:string ->
+  n:int ->
+  beta:float ->
+  seed:int ->
+  wall_s:float ->
+  domains:int ->
+  gc:Trace.gc_delta ->
+  ?top:int ->
+  unit ->
+  string
+(** The full [repro-profile/1] document: run identity, the
+    {!deterministic_json} object under ["deterministic"], and wall time,
+    whole-run Gc totals, nondeterministic counters/probes and hotspot
+    lists under ["nondeterministic"]. *)

@@ -5,6 +5,19 @@
    workers never contend; buffers register themselves in a global list on
    first use and are merged by [events]/[flush]. *)
 
+(* Gc quickstat delta over one span, on the domain that ran it. OCaml 5
+   keeps minor-heap counters per domain, so a span's delta covers exactly
+   the allocation its own domain performed while the span was open —
+   work farmed to pool workers shows up in their spans (if any), not the
+   caller's. *)
+type gc_delta = {
+  g_minor_words : float;
+  g_promoted_words : float;
+  g_major_words : float;
+  g_minor_collections : int;
+  g_major_collections : int;
+}
+
 type event = {
   e_name : string;
   e_cat : string;
@@ -13,6 +26,7 @@ type event = {
   e_tid : int;
   e_path : string list;
   e_args : (string * string) list;
+  e_gc : gc_delta option;
 }
 
 (* Per-domain buffer: recorded events plus the stack of open span names
@@ -49,6 +63,13 @@ let set_output o =
 
 let output () = !out_file
 
+(* Per-span Gc accounting is opt-in on top of tracing: two [Gc.quick_stat]
+   calls per span are cheap but not free, and most trace users only want
+   wall time. *)
+let gc_capture = Atomic.make false
+let set_gc_capture b = Atomic.set gc_capture b
+let gc_capture_enabled () = Atomic.get gc_capture
+
 (* Trace epoch: timestamps are microseconds since module load, keeping them
    small enough to render exactly as JSON numbers. *)
 let epoch = Unix.gettimeofday ()
@@ -66,9 +87,34 @@ let span ?(cat = "repro") ?(args = []) name f =
   else begin
     let b = Domain.DLS.get dls_key in
     b.stack <- name :: b.stack;
+    (* [Gc.quick_stat].minor_words only advances at collection boundaries in
+       native code; [Gc.minor_words] reads the allocation pointer, so spans
+       too short to trigger a minor GC still see their own allocation. *)
+    let g0 =
+      if Atomic.get gc_capture then Some (Gc.quick_stat (), Gc.minor_words ())
+      else None
+    in
     let t0 = now_us () in
     let finish () =
       let t1 = now_us () in
+      (* Delta before building the event record, so the record's own
+         allocation lands in the parent span, not this one. *)
+      let gc =
+        match g0 with
+        | None -> None
+        | Some (s0, mw0) ->
+          let s1 = Gc.quick_stat () in
+          Some
+            {
+              g_minor_words = Gc.minor_words () -. mw0;
+              g_promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+              g_major_words = s1.Gc.major_words -. s0.Gc.major_words;
+              g_minor_collections =
+                s1.Gc.minor_collections - s0.Gc.minor_collections;
+              g_major_collections =
+                s1.Gc.major_collections - s0.Gc.major_collections;
+            }
+      in
       (match b.stack with _ :: tl -> b.stack <- tl | [] -> ());
       record b
         {
@@ -79,6 +125,7 @@ let span ?(cat = "repro") ?(args = []) name f =
           e_tid = (Domain.self () :> int);
           e_path = List.rev b.stack @ [ name ];
           e_args = args;
+          e_gc = gc;
         }
     in
     match f () with
@@ -103,6 +150,7 @@ let mark ?(cat = "repro") ?(args = []) name =
         e_tid = (Domain.self () :> int);
         e_path = List.rev b.stack @ [ name ];
         e_args = args;
+        e_gc = None;
       }
   end
 

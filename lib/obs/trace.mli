@@ -13,6 +13,17 @@
     an explicit {!flush}); programs can do the same with {!set_output}, or
     collect without a file via {!set_enabled} and read {!events} back. *)
 
+type gc_delta = {
+  g_minor_words : float; (* words allocated on the minor heap *)
+  g_promoted_words : float;
+  g_major_words : float; (* includes promotions *)
+  g_minor_collections : int;
+  g_major_collections : int;
+}
+(** [Gc.quick_stat] delta over one span, measured on the domain that ran
+    the span (OCaml 5 keeps minor counters per domain). Like wall time,
+    deltas are inclusive: a parent span's delta covers its children. *)
+
 type event = {
   e_name : string;
   e_cat : string; (* category, e.g. "ba", "net", "srds" *)
@@ -21,6 +32,7 @@ type event = {
   e_tid : int; (* domain id *)
   e_path : string list; (* enclosing span names, outermost first, incl. self *)
   e_args : (string * string) list;
+  e_gc : gc_delta option; (* present when {!set_gc_capture} was on *)
 }
 
 val set_enabled : bool -> unit
@@ -33,6 +45,13 @@ val set_output : string option -> unit
     Initially taken from [REPRO_TRACE_FILE]. *)
 
 val output : unit -> string option
+
+val set_gc_capture : bool -> unit
+(** Also snapshot [Gc.quick_stat] around every span ({!event.e_gc}).
+    Opt-in on top of tracing: the two quickstat calls per span are cheap
+    but not free, and most trace users only want wall time. *)
+
+val gc_capture_enabled : unit -> bool
 
 val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()], recording its interval when enabled. The

@@ -154,6 +154,12 @@ let decode data f =
    full byte comparison. The cache is unbounded by design — create the
    closure per protocol phase so its lifetime (and the retained decoded
    values, one per distinct content) is bounded by the phase. *)
+(* Hit/miss totals are per-closure caches driven by the delivery schedule,
+   which is part of the logical run — pool-size independent, so the
+   counters register deterministic. *)
+let c_memo_hit = Repro_obs.Counters.make "encode.memo_hit"
+let c_memo_miss = Repro_obs.Counters.make "encode.memo_miss"
+
 let memo_decode f =
   let cache : (int * int64, (bytes * 'a option) list) Hashtbl.t =
     Hashtbl.create 64
@@ -169,8 +175,11 @@ let memo_decode f =
     match
       List.find_opt (fun (k, _) -> k == data || Bytes.equal k data) bucket
     with
-    | Some (_, v) -> v
+    | Some (_, v) ->
+        Repro_obs.Counters.bump c_memo_hit;
+        v
     | None ->
+        Repro_obs.Counters.bump c_memo_miss;
         let v = decode data f in
         Hashtbl.replace cache key ((data, v) :: bucket);
         v

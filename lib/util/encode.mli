@@ -52,4 +52,6 @@ val memo_decode : (source -> 'a) -> bytes -> 'a option
     a single decoded value per distinct content instead of copying per
     delivery. Decoding is deterministic, so sharing never affects results,
     only allocation. The cache is unbounded — create the closure per
-    protocol phase (not globally) so its lifetime bounds retention. *)
+    protocol phase (not globally) so its lifetime bounds retention.
+    Lookups bump the deterministic [encode.memo_hit] / [encode.memo_miss]
+    counters when the [Repro_obs.Counters] registry is enabled. *)

@@ -25,6 +25,54 @@ let pool : pool option ref = ref None
    the caller only while helping). Nested calls then degrade to sequential. *)
 let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
+(* Per-slot utilization: slot 0 is the caller (including top-level
+   sequential loops), slots 1..d-1 the worker domains. Each slot has exactly
+   one writer (its own domain), so plain mutable fields suffice; the array
+   itself is only replaced while the pool is quiescent (spawn, set_domains,
+   reset). *)
+type slot = {
+  mutable s_tasks : int;
+  mutable s_busy : float; (* seconds spent inside tasks *)
+}
+
+let slots : slot array ref = ref [||]
+
+let ensure_slots d =
+  if Array.length !slots < d then begin
+    let old = !slots in
+    slots :=
+      Array.init d (fun i ->
+          if i < Array.length old then old.(i) else { s_tasks = 0; s_busy = 0. })
+  end
+
+let record_slot i ~tasks dt =
+  let s = !slots in
+  if i < Array.length s then begin
+    s.(i).s_tasks <- s.(i).s_tasks + tasks;
+    s.(i).s_busy <- s.(i).s_busy +. dt
+  end
+
+let utilization () = Array.map (fun s -> (s.s_tasks, s.s_busy)) !slots
+
+let reset_utilization () =
+  Array.iter
+    (fun s ->
+      s.s_tasks <- 0;
+      s.s_busy <- 0.)
+    !slots
+
+(* Time a top-level sequential fan-out into slot 0. Inside a pool task the
+   enclosing chunk already accounts for the work, so nested calls skip. *)
+let seq_timed f =
+  if !(Domain.DLS.get in_task) then f ()
+  else begin
+    ensure_slots 1;
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    record_slot 0 ~tasks:1 (Unix.gettimeofday () -. t0);
+    r
+  end
+
 let default_size () =
   match Sys.getenv_opt "REPRO_DOMAINS" with
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
@@ -38,7 +86,7 @@ let domains () =
       configured := Some n;
       n
 
-let worker_loop p () =
+let worker_loop p slot () =
   Domain.DLS.get in_task := true;
   let running = ref true in
   while !running do
@@ -54,7 +102,9 @@ let worker_loop p () =
     else begin
       let task = Queue.pop p.queue in
       Mutex.unlock p.mutex;
-      task ()
+      let t0 = Unix.gettimeofday () in
+      task ();
+      record_slot slot ~tasks:1 (Unix.gettimeofday () -. t0)
     end
   done
 
@@ -73,6 +123,7 @@ let () = at_exit shutdown
 
 let set_domains n =
   shutdown ();
+  slots := [||];
   configured := Some (max 1 n)
 
 (* The caller participates, so a pool of size [d] spawns [d - 1] domains.
@@ -88,7 +139,9 @@ let spawn_pool d =
       workers = [||];
     }
   in
-  p.workers <- Array.init (d - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p ()));
+  ensure_slots d;
+  p.workers <-
+    Array.init (d - 1) (fun i -> Domain.spawn (fun () -> worker_loop p (i + 1) ()));
   p
 
 let get_pool () =
@@ -109,15 +162,17 @@ let parallel_for ?chunk n body =
   let d = domains () in
   if n <= 0 then ()
   else if d = 1 || n = 1 || !(Domain.DLS.get in_task) then
-    for i = 0 to n - 1 do
-      body i
-    done
+    seq_timed (fun () ->
+        for i = 0 to n - 1 do
+          body i
+        done)
   else
     match get_pool () with
     | None ->
-        for i = 0 to n - 1 do
-          body i
-        done
+        seq_timed (fun () ->
+            for i = 0 to n - 1 do
+              body i
+            done)
     | Some p ->
         let chunk =
           match chunk with
@@ -165,7 +220,9 @@ let parallel_for ?chunk n body =
             let task = Queue.pop p.queue in
             Mutex.unlock p.mutex;
             flag := true;
+            let t0 = Unix.gettimeofday () in
             task ();
+            record_slot 0 ~tasks:1 (Unix.gettimeofday () -. t0);
             flag := false
           end
         done;
@@ -181,7 +238,7 @@ let sequential () = domains () = 1 || !(Domain.DLS.get in_task)
 let map ?chunk f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if n = 1 || sequential () then Array.map f arr
+  else if n = 1 || sequential () then seq_timed (fun () -> Array.map f arr)
   else begin
     (* Seed the result array with the genuinely-needed first element so no
        dummy value (and no [Obj.magic]) is required; float arrays stay
@@ -196,7 +253,7 @@ let iter ?chunk f arr = parallel_for ?chunk (Array.length arr) (fun i -> f arr.(
 
 let init ?chunk n f =
   if n <= 0 then [||]
-  else if n = 1 || sequential () then Array.init n f
+  else if n = 1 || sequential () then seq_timed (fun () -> Array.init n f)
   else begin
     let first = f 0 in
     let out = Array.make n first in
@@ -205,3 +262,19 @@ let init ?chunk n f =
   end
 
 let map_list ?chunk f l = Array.to_list (map ?chunk f (Array.of_list l))
+
+(* Busy time per slot depends on how chunks landed on domains, so the probe
+   is nondeterministic by contract. *)
+let () =
+  Repro_obs.Profile.register_probe ~name:"pool" ~deterministic:false (fun () ->
+      let u = utilization () in
+      ("domains", domains ())
+      :: ("slots", Array.length u)
+      :: List.concat
+           (List.mapi
+              (fun i (tasks, busy) ->
+                [
+                  (Printf.sprintf "slot%d.tasks" i, tasks);
+                  (Printf.sprintf "slot%d.busy_us" i, int_of_float (busy *. 1e6));
+                ])
+              (Array.to_list u)))

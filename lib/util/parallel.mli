@@ -43,3 +43,18 @@ val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : unit -> unit
 (** Join all worker domains. Registered with [at_exit]; safe to call more
     than once. The pool respawns lazily on next use. *)
+
+(** {1 Utilization}
+
+    Every pool task (and every top-level sequential fan-out) is timed into
+    its domain's slot: slot 0 is the caller, slots [1..d-1] the workers.
+    Also exported as the ["pool"] introspection probe (nondeterministic —
+    how chunks land on domains depends on scheduling). *)
+
+val utilization : unit -> (int * float) array
+(** Per slot: (tasks executed, busy seconds inside tasks) since the last
+    {!reset_utilization}. Empty until the first fan-out (or pool spawn). *)
+
+val reset_utilization : unit -> unit
+(** Zero all slots. [set_domains] additionally drops them, since the slot
+    count changes with the pool size. *)

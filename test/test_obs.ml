@@ -457,7 +457,7 @@ let test_audit_timeline_jsonl () =
               (Json.member key v <> None))
           [
             "protocol"; "round"; "phase"; "max_bits"; "mean_bits"; "active";
-            "max_locality"; "violations";
+            "scheduled"; "max_locality"; "violations";
           ])
     lines
 
@@ -495,6 +495,169 @@ let test_breakdown_conserves_total () =
         r.Runner.r_total_bytes sum)
     rows
 
+(* --- profiler --------------------------------------------------------------
+
+   The self-profiling layer (Profile): per-span GC deltas, the deterministic
+   profile tree, the repro-profile/1 report and its regression gate. *)
+
+module Profile = Repro_obs.Profile
+
+let profiling_off () =
+  Trace.reset ();
+  Trace.set_enabled false;
+  Trace.set_gc_capture false;
+  Counters.reset ()
+
+let test_profile_gc_capture () =
+  Trace.set_enabled true;
+  Trace.set_gc_capture true;
+  Trace.reset ();
+  let sink = ref [] in
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () ->
+          for i = 0 to 999 do
+            sink := string_of_int i :: !sink
+          done));
+  Alcotest.(check int) "sink filled" 1000 (List.length !sink);
+  let find name = List.find (fun e -> e.Trace.e_name = name) (Trace.events ()) in
+  let gc e =
+    match e.Trace.e_gc with
+    | Some g -> g
+    | None -> Alcotest.fail "span has no gc delta with capture on"
+  in
+  let gi = gc (find "inner") and go = gc (find "outer") in
+  Alcotest.(check bool) "allocating child has positive minor delta" true
+    (gi.Trace.g_minor_words > 0.0);
+  (* deltas are inclusive: the parent covers the child *)
+  Alcotest.(check bool) "parent delta >= child delta" true
+    (go.Trace.g_minor_words >= gi.Trace.g_minor_words);
+  Alcotest.(check bool) "collection deltas are nonnegative" true
+    (gi.Trace.g_minor_collections >= 0 && gi.Trace.g_major_collections >= 0);
+  Trace.set_gc_capture false;
+  Trace.reset ();
+  Trace.span "plain" (fun () -> ());
+  (match Trace.events () with
+  | [ e ] ->
+    Alcotest.(check bool) "no gc delta with capture off" true
+      (e.Trace.e_gc = None)
+  | _ -> Alcotest.fail "expected exactly one event");
+  profiling_off ()
+
+let test_profile_cache_counters () =
+  let was = Counters.is_enabled () in
+  Counters.enable ();
+  Counters.reset ();
+  (* Pinned: decoding the same buffer three times is one miss, two hits. *)
+  let buf =
+    Repro_util.Encode.to_bytes (fun b -> Repro_util.Encode.varint b 7)
+  in
+  let dec = Repro_util.Encode.memo_decode Repro_util.Encode.r_varint in
+  Alcotest.(check (list (option int))) "memoized decode value"
+    [ Some 7; Some 7; Some 7 ]
+    [ dec buf; dec buf; dec buf ];
+  let v name = List.assoc name (Counters.snapshot ()) in
+  Alcotest.(check int) "memo_miss pinned" 1 (v "encode.memo_miss");
+  Alcotest.(check int) "memo_hit pinned" 2 (v "encode.memo_hit");
+  (* End-to-end: a real run exercises both the decode memo and the per-node
+     encode cache in ae_comm. *)
+  Counters.reset ();
+  ignore (Runner.run ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1 ~seed:1);
+  Alcotest.(check bool) "enc cache hits nonzero" true (v "aecomm.enc_hit" > 0);
+  Alcotest.(check bool) "enc cache misses nonzero" true
+    (v "aecomm.enc_miss" > 0);
+  Alcotest.(check bool) "decode memo hits nonzero" true
+    (v "encode.memo_hit" > 0);
+  Counters.reset ();
+  if not was then Counters.disable ()
+
+(* The acceptance contract of the profiler: the deterministic half of the
+   profile — counters, histograms, span tree shape, det probes — is a
+   function of the logical run only, byte-identical across pool sizes. *)
+let test_profile_shape_deterministic () =
+  let saved = Parallel.domains () in
+  let run domains =
+    Parallel.set_domains domains;
+    let _row, _wall, _gc =
+      Runner.run_profiled ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1
+        ~seed:5
+    in
+    Profile.deterministic_json ()
+  in
+  let one = run 1 in
+  let four = run 4 in
+  Parallel.set_domains saved;
+  profiling_off ();
+  Alcotest.(check bool) "deterministic profile json well-formed" true
+    (json_well_formed one);
+  Alcotest.(check string) "deterministic profile pool-independent" one four
+
+let test_profile_report_json () =
+  let row, wall, gc =
+    Runner.run_profiled ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1
+      ~seed:1
+  in
+  let json =
+    Profile.report_json ~protocol:row.Runner.r_protocol ~n:32 ~beta:0.1
+      ~seed:1 ~wall_s:wall ~domains:(Parallel.domains ()) ~gc ()
+  in
+  profiling_off ();
+  Alcotest.(check bool) "report well-formed" true (json_well_formed json);
+  match Json.parse json with
+  | Error e -> Alcotest.fail ("report: " ^ e)
+  | Ok v ->
+    Alcotest.(check (option string)) "schema" (Some "repro-profile/1")
+      (Option.bind (Json.member "schema" v) Json.to_string);
+    let det = Json.member "deterministic" v in
+    let nondet = Json.member "nondeterministic" v in
+    Alcotest.(check bool) "both sections present" true
+      (det <> None && nondet <> None);
+    Alcotest.(check bool) "det has span tree" true
+      (Option.bind det (Json.member "spans") <> None);
+    Alcotest.(check bool) "nondet has gc block" true
+      (Option.bind nondet (Json.member "gc") <> None);
+    Alcotest.(check bool) "pool probe is nondeterministic" true
+      (Option.bind nondet (fun nd ->
+           Option.bind (Json.member "probes" nd) (Json.member "pool"))
+      <> None);
+    Alcotest.(check bool) "hotspots present" true
+      (Option.bind nondet (Json.member "hotspots_by_alloc") <> None)
+
+let test_profile_compare () =
+  let doc counters spans =
+    Printf.sprintf
+      "{\"schema\":\"repro-profile/1\",\"deterministic\":{\"counters\":%s,\"histograms\":{\"h\":{\"count\":2,\"sum\":5,\"buckets\":[2]}},\"spans\":%s,\"probes\":{}}}"
+      counters spans
+  in
+  let base = doc "{\"a\": 10}" "[{\"path\":\"x>y\",\"count\":3}]" in
+  (* identical reports: clean pass *)
+  (match Runner.profile_compare ~prev:base ~cur:base ~threshold:0.0 with
+  | Ok [] -> ()
+  | Ok rs -> Alcotest.fail ("self-compare regressed: " ^ String.concat "; " rs)
+  | Error e -> Alcotest.fail ("self-compare not comparable: " ^ e));
+  (* injected regression: counter doubled, a span count changed *)
+  let worse = doc "{\"a\": 20}" "[{\"path\":\"x>y\",\"count\":4}]" in
+  (match Runner.profile_compare ~prev:base ~cur:worse ~threshold:0.0 with
+  | Ok rs ->
+    Alcotest.(check int) "two regressions flagged" 2 (List.length rs);
+    Alcotest.(check bool) "counter named" true
+      (List.exists (fun r -> String.length r >= 9 && String.sub r 0 9 = "counter a") rs)
+  | Error e -> Alcotest.fail ("regression not comparable: " ^ e));
+  (* the gate is symmetric: a deterministic metric dropping is a change too *)
+  (match Runner.profile_compare ~prev:worse ~cur:base ~threshold:0.0 with
+  | Ok rs -> Alcotest.(check bool) "drop also flagged" true (rs <> [])
+  | Error e -> Alcotest.fail ("symmetric not comparable: " ^ e));
+  (* threshold tolerates drift below it *)
+  (match Runner.profile_compare ~prev:base ~cur:worse ~threshold:2.0 with
+  | Ok rs -> Alcotest.(check int) "threshold 200% tolerates 2x" 0 (List.length rs)
+  | Error e -> Alcotest.fail ("threshold not comparable: " ^ e));
+  (* wrong schema (e.g. a bench results file): not comparable, not a fail *)
+  match
+    Runner.profile_compare ~prev:"{\"schema\":\"repro-bench/5\"}" ~cur:base
+      ~threshold:0.0
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema must be Error, not a verdict"
+
 let suite =
   [
     Alcotest.test_case "json checker sanity" `Quick test_json_checker_sanity;
@@ -516,4 +679,11 @@ let suite =
       test_audit_pool_independent;
     Alcotest.test_case "breakdown conserves total" `Quick
       test_breakdown_conserves_total;
+    Alcotest.test_case "profile gc capture" `Quick test_profile_gc_capture;
+    Alcotest.test_case "profile cache counters" `Quick
+      test_profile_cache_counters;
+    Alcotest.test_case "profile shape deterministic" `Quick
+      test_profile_shape_deterministic;
+    Alcotest.test_case "profile report json" `Quick test_profile_report_json;
+    Alcotest.test_case "profile compare gate" `Quick test_profile_compare;
   ]

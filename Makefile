@@ -1,5 +1,5 @@
 .PHONY: build test bench bench-smoke bench-compare audit attack trace \
-  scale scale-smoke profile profile-smoke check clean
+  scale scale-smoke profile profile-smoke forensics-smoke check clean
 
 build:
 	dune build
@@ -82,6 +82,29 @@ profile-smoke: build
 	  echo "PROFILE_report.json: valid JSON"
 	./_build/default/bin/ba_sim.exe profile -p owf -n 64 --compare PROFILE_report.json
 
+# <60s forensics smoke: a small-n explain with the transcript-replay
+# round-trip (non-zero exit if any cone blows the locality budget or the
+# replay diverges), a recorded-log byte-identity check across
+# REPRO_DOMAINS=1 vs 4, and the equivocation-evidence teeth check (the
+# planted equivocate strategy must be convicted). Both reports are
+# validated as JSON.
+forensics-smoke: build
+	./_build/default/bin/ba_sim.exe explain -p owf -n 48 --replay-check \
+	  --report FORENSICS_report.json
+	python3 -m json.tool FORENSICS_report.json > /dev/null && \
+	  echo "FORENSICS_report.json: valid JSON"
+	REPRO_DOMAINS=1 ./_build/default/bin/ba_sim.exe explain -p owf -n 48 \
+	  --log-out FORENSICS_log1.jsonl > /dev/null
+	REPRO_DOMAINS=4 ./_build/default/bin/ba_sim.exe explain -p owf -n 48 \
+	  --log-out FORENSICS_log4.jsonl > /dev/null
+	cmp FORENSICS_log1.jsonl FORENSICS_log4.jsonl && \
+	  echo "recorded log: byte-identical across REPRO_DOMAINS=1 vs 4 \
+	($$(wc -l < FORENSICS_log1.jsonl) events)"
+	./_build/default/bin/ba_sim.exe attack -n 40 --strategies equivocate \
+	  --forensics FORENSICS_attack.json
+	python3 -m json.tool FORENSICS_attack.json > /dev/null && \
+	  echo "FORENSICS_attack.json: valid JSON"
+
 # Umbrella gate: build, unit tests, bench JSON smoke, attack matrix, scale
 # sweep smoke, profile smoke — everything a PR must keep green, with a
 # wall-clock guard so a performance regression in any harness fails the
@@ -89,7 +112,8 @@ profile-smoke: build
 CHECK_BUDGET_S ?= 420
 check: build
 	@t0=$$(date +%s); \
-	$(MAKE) test bench-smoke attack scale-smoke profile-smoke || exit 1; \
+	$(MAKE) test bench-smoke attack scale-smoke profile-smoke \
+	  forensics-smoke || exit 1; \
 	t1=$$(date +%s); elapsed=$$((t1 - t0)); \
 	echo "check: all gates green in $${elapsed}s (budget $(CHECK_BUDGET_S)s)"; \
 	if [ $$elapsed -gt $(CHECK_BUDGET_S) ]; then \
@@ -100,4 +124,6 @@ check: build
 clean:
 	dune clean
 	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl \
-	  ATTACK_report.json SCALE_report.json PROFILE_report.json
+	  ATTACK_report.json SCALE_report.json PROFILE_report.json \
+	  FORENSICS_report.json FORENSICS_attack.json \
+	  FORENSICS_log1.jsonl FORENSICS_log4.jsonl

@@ -397,6 +397,71 @@ module Cs_snark = Cert_size (Srds_snark)
 module Cs_vrf = Cert_size (Srds_vrf)
 module Cs_ms = Cert_size (Baseline_multisig)
 
+(* ------------------------------------------------------------------ *)
+(* E18: scheme-op exercise (real counter rows for every scheme)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The counter snapshot attached to each experiment in BENCH_results.json
+   only carries what that experiment actually executed; the srds-vrf rows
+   were all zeros because neither the smoke nor the standard list drove
+   its keygen/sign/aggregate/verify path (ROADMAP item 5 blemish). This
+   experiment runs the full scheme-op contract once per scheme — setup,
+   n keygens, n sign attempts, one aggregate chain, one verify — so every
+   "<scheme>.{keygen,sign,aggregate,verify}" counter carries real values
+   and the --compare regression gate can diff them. *)
+module Scheme_ops (S : Srds_intf.SCHEME) = struct
+  module W = Srds_intf.Wire (S)
+
+  (* signers, aggregate wire bytes (-1 on failure), verified *)
+  let run ~n ~seed =
+    let rng = Rng.create seed in
+    let pp, master = S.setup rng ~n in
+    let keys = Array.init n (fun i -> S.keygen pp master rng ~index:i) in
+    let vks = Array.map fst keys in
+    let msg = Bytes.of_string "srds-ops" in
+    let sigs =
+      List.filter_map
+        (fun i -> S.sign pp (snd keys.(i)) ~index:i ~msg)
+        (List.init n (fun i -> i))
+    in
+    let signers = List.length sigs in
+    match S.aggregate2 pp ~msg (S.aggregate1 pp ~vks ~msg sigs) with
+    | Some agg -> (signers, W.size agg, S.verify pp ~vks ~msg agg)
+    | None -> (signers, -1, false)
+end
+
+module Ops_owf = Scheme_ops (Srds_owf)
+module Ops_snark = Scheme_ops (Srds_snark)
+module Ops_vrf = Scheme_ops (Srds_vrf)
+module Ops_ms = Scheme_ops (Baseline_multisig)
+
+let bench_srds_ops () =
+  section "E18: scheme-op exercise (keygen/sign/aggregate/verify counters)";
+  Repro_crypto.Wots.clear_cache ();
+  let n = if smoke then 48 else 96 in
+  let t =
+    Tablefmt.create
+      ~title:(Printf.sprintf "one full signing flow per scheme, n=%d" n)
+      ~headers:[ "scheme"; "signers"; "agg bytes"; "verified" ]
+      ~aligns:[ Tablefmt.Left; Right; Right; Right ]
+  in
+  let row name (signers, bytes, ok) =
+    Tablefmt.add_row t
+      [ name; string_of_int signers; string_of_int bytes;
+        (if ok then "yes" else "NO") ];
+    if not ok then failwith (name ^ ": aggregate failed to verify")
+  in
+  row "srds-owf" (Ops_owf.run ~n ~seed:18);
+  row "srds-snark" (Ops_snark.run ~n ~seed:18);
+  row "srds-vrf" (Ops_vrf.run ~n ~seed:18);
+  row "baseline-multisig" (Ops_ms.run ~n ~seed:18);
+  Tablefmt.print t;
+  print_endline
+    "  (exists so the per-experiment counter snapshot in BENCH_results.json";
+  print_endline
+    "   has non-zero <scheme>.{keygen,sign,aggregate,verify} rows for all";
+  print_endline "   four schemes, srds-vrf included)"
+
 let bench_certificates () =
   section "E7: certificate size - SRDS aggregate vs multisig(+bitmask) vs n";
   let t =
@@ -1176,7 +1241,7 @@ let () =
   let experiments =
     if smoke then
       [ ("table1", bench_table1); ("breakdown", bench_breakdown);
-        ("scale", bench_scale) ]
+        ("scale", bench_scale); ("srds_ops", bench_srds_ops) ]
     else
       [
         ("table1", bench_table1);
@@ -1184,6 +1249,7 @@ let () =
         ("scale", bench_scale);
         ("games", bench_games);
         ("certificates", bench_certificates);
+        ("srds_ops", bench_srds_ops);
         ("succinctness", bench_succinctness);
         ("broadcast", bench_broadcast);
         ("breakdown", bench_breakdown);

@@ -9,6 +9,7 @@
      games      the Fig. 1 / Fig. 2 security games over the attack portfolio
      boost      the one-shot boost experiment (E11) and the Thm-1.3 attack
      broadcast  the Cor. 1.2 amortization experiment
+     explain    flight-record one run: causal cones, locality gate, replay
      profile    self-profile one cell: hotspots, caches, pool utilization *)
 
 open Cmdliner
@@ -309,8 +310,20 @@ let sanity_betas_arg =
           "Out-of-model rates annotated may-fail; at least one such cell \
            must actually fail or the run exits non-zero (default 0.45).")
 
+let forensics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "forensics" ] ~docv:"FILE"
+        ~doc:
+          "Re-run every failing cell and every equivocate cell at beta > 0 \
+           with the flight recorder attached and write the \
+           equivocation-evidence bundles (schema repro-forensics/1, kind \
+           attack). Non-zero exit if a planted equivocation yields no \
+           verified evidence (the extractor must have teeth).")
+
 let attack_cmd =
-  let action n seeds report_out strategies betas sanity_betas =
+  let action n seeds report_out strategies betas sanity_betas forensics_out =
     let m = Runner.attack_matrix ?betas ?sanity_betas ?strategies ~seeds ~n () in
     Repro_util.Tablefmt.print (Runner.attack_table m);
     Printf.printf
@@ -350,11 +363,58 @@ let attack_cmd =
         (if m.Runner.am_teeth then
            "detected disagreement/non-decision (harness has teeth)"
          else "all passed - DETECTION SELF-CHECK FAILED");
-    (* Non-zero exit if an in-model cell broke, or if the sanity rows never
-       demonstrated a detectable failure (the checks must have teeth). *)
+    (* Forensic pass: bit-identical re-runs of the interesting cells with
+       the flight recorder attached, evidence extracted and re-verified. *)
+    let forensics_ok =
+      match forensics_out with
+      | None -> true
+      | Some file ->
+        let bundles = Runner.attack_forensics m in
+        let oc = open_out file in
+        output_string oc (Runner.attack_forensics_json ~n bundles);
+        close_out oc;
+        let total_ev =
+          List.fold_left
+            (fun a b -> a + List.length b.Runner.fb_evidence)
+            0 bundles
+        in
+        Printf.printf
+          "forensics: %d cell(s) re-run, %d verified evidence bundle(s), \
+           written to %s\n"
+          (List.length bundles) total_ev file;
+        let planted =
+          List.exists
+            (fun c ->
+              Runner.strategy_equivocates c.Runner.ac_strategy
+              && c.Runner.ac_beta > 0.0)
+            m.Runner.am_cells
+        in
+        if not planted then begin
+          print_endline
+            "forensics: no equivocate cell at beta > 0 in this matrix \
+             (extractor teeth not exercised)";
+          true
+        end
+        else if Runner.forensics_teeth bundles then begin
+          print_endline
+            "forensics: every planted equivocation produced verified \
+             evidence (extractor has teeth)";
+          true
+        end
+        else begin
+          print_endline
+            "forensics: a planted equivocation yielded NO verified evidence \
+             - EXTRACTOR SELF-CHECK FAILED";
+          false
+        end
+    in
+    (* Non-zero exit if an in-model cell broke, if the sanity rows never
+       demonstrated a detectable failure (the checks must have teeth), or
+       if the evidence extractor missed a planted equivocation. *)
     if
       (not m.Runner.am_gate_ok)
       || (m.Runner.am_sanity_betas <> [] && not m.Runner.am_teeth)
+      || not forensics_ok
     then exit 1
   in
   Cmd.v
@@ -364,7 +424,7 @@ let attack_cmd =
           pipeline protocols (E16); non-zero exit if any beta < 1/3 cell \
           breaks agreement/validity.")
     Term.(const action $ attack_n_arg $ seeds_arg $ report_out_arg
-          $ strategies_arg $ betas_arg $ sanity_betas_arg)
+          $ strategies_arg $ betas_arg $ sanity_betas_arg $ forensics_arg)
 
 (* --- table1 --- *)
 
@@ -662,6 +722,170 @@ let breakdown_cmd =
     (Cmd.info "breakdown" ~doc:"Per-phase communication breakdown (E13).")
     Term.(const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg)
 
+(* --- explain: causal forensics over a flight-recorded run --- *)
+
+let party_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "party" ] ~docv:"I"
+        ~doc:
+          "Render this party's causal cone as an ASCII tree (most recent \
+           round first, sampled sender ids per slice). Default: a one-line \
+           summary per recorded decider.")
+
+let explain_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable forensics report (schema \
+           repro-forensics/1, kind explain: one cone per decider with \
+           per-round slice sizes vs the protocol's declared locality \
+           curve). Byte-identical across reruns with the same arguments.")
+
+let replay_check_arg =
+  Arg.(
+    value & flag
+    & info [ "replay-check" ]
+        ~doc:
+          "Round-trip the recorded log: serialize to JSONL (payloads \
+           kept), parse back, re-drive a fresh network from it, and verify \
+           the replayed transcript is byte-identical (field compare plus \
+           SHA-256 digests of the send streams). Non-zero exit on any \
+           divergence.")
+
+let log_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-out" ] ~docv:"FILE"
+        ~doc:"Write the raw flight-recorder log as JSON Lines.")
+
+let explain_cmd =
+  let action protocol n beta seed party report_out replay_check log_out =
+    let module Recorder = Repro_obs.Recorder in
+    let row, rec_, corrupt =
+      Runner.run_recorded ~keep_payloads:replay_check ~protocol ~n ~beta ~seed
+        ()
+    in
+    let ex = Runner.explain_cones ~protocol ~n ~beta ~seed rec_ in
+    Printf.printf
+      "%s n=%d beta=%.2f seed=%d: %d events recorded, %d decider(s), ok=%b\n"
+      row.Runner.r_protocol n beta seed
+      (Recorder.total_events rec_)
+      (List.length ex.Runner.ex_cones)
+      row.Runner.r_ok;
+    (match ex.Runner.ex_budget with
+    | Some b ->
+      Printf.printf
+        "locality budget: <= %.0f distinct senders per cone round (declared \
+         curve at n=%d)\n"
+        b n
+    | None -> print_endline "locality budget: none declared");
+    (match party with
+    | Some p -> (
+      match Recorder.causal_cone rec_ ~party:p with
+      | None ->
+        Printf.printf "party %d recorded no decision\n" p;
+        exit 1
+      | Some cone -> print_string (Recorder.render_cone ~phases:true rec_ cone))
+    | None ->
+      List.iter
+        (fun ((c : Recorder.cone), over) ->
+          Printf.printf
+            "  party %4d decided %S at r%-4d cone: %6d sends, %4d parties, \
+             max slice %4d%s\n"
+            c.Recorder.cone_party c.Recorder.cone_value c.Recorder.cone_round
+            c.Recorder.cone_events c.Recorder.cone_parties
+            c.Recorder.cone_max_round_size
+            (if over > 0 then Printf.sprintf "  (%d slice(s) OVER BUDGET)" over
+             else ""))
+        ex.Runner.ex_cones);
+    Printf.printf "violations: %d over-budget cone slice(s)\n"
+      ex.Runner.ex_violations;
+    (match log_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Recorder.to_jsonl rec_);
+      close_out oc;
+      Printf.printf "log written to %s (%d events)\n" file
+        (Recorder.total_events rec_)
+    | None -> ());
+    (match report_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Runner.explain_json ex);
+      close_out oc;
+      Printf.printf "report written to %s\n" file
+    | None -> ());
+    if replay_check then begin
+      (* Round-trip: JSONL -> parse -> re-drive -> byte compare, then the
+         golden-digest style check over both send streams. *)
+      let module Sha256 = Repro_crypto.Sha256 in
+      let send_digest r =
+        let ctx = Sha256.init () in
+        Recorder.iter r (function
+          | Recorder.Send _ as ev ->
+            let b = Bytes.of_string (Recorder.event_jsonl ev ^ "\n") in
+            Sha256.feed ctx b 0 (Bytes.length b)
+          | _ -> ());
+        Sha256.hex (Sha256.finish ctx)
+      in
+      match Repro_net.Replay.events_of_jsonl (Recorder.to_jsonl rec_) with
+      | Error e ->
+        Printf.printf "replay-check: log parse FAILED: %s\n" e;
+        exit 1
+      | Ok events -> (
+        match Repro_net.Replay.replay ~n ~corrupt events with
+        | Error e ->
+          Printf.printf "replay-check: re-drive FAILED: %s\n" e;
+          exit 1
+        | Ok replayed -> (
+          match Repro_net.Replay.check ~original:events ~replayed with
+          | Error e ->
+            Printf.printf "replay-check: FAILED: %s\n" e;
+            exit 1
+          | Ok k ->
+            let d0 = send_digest rec_ and d1 = send_digest replayed in
+            if d0 <> d1 then begin
+              Printf.printf
+                "replay-check: send-stream digests DIVERGED\n  recorded %s\n\
+                \  replayed %s\n"
+                d0 d1;
+              exit 1
+            end;
+            Printf.printf
+              "replay-check: %d sends replayed byte-identical (sha256 %s)\n" k
+              d0))
+    end;
+    (* Gate: the polylog pipelines must explain every decision within their
+       declared locality curve; the Theta(n) baselines are expected to blow
+       the same check, so only this-work violations are failures. *)
+    match protocol with
+    | Runner.This_work_owf | Runner.This_work_snark ->
+      if ex.Runner.ex_violations > 0 then begin
+        Printf.printf
+          "gate: a this-work causal cone exceeded the declared locality \
+           curve\n";
+        exit 1
+      end
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Flight-record one run and explain decisions: per-decider causal \
+          cones with per-round slice sizes checked against the protocol's \
+          declared locality curve (non-zero exit if a this-work cone \
+          exceeds it), optional ASCII cone tree for one party, \
+          repro-forensics/1 report, raw JSONL log, and a transcript replay \
+          self-check.")
+    Term.(
+      const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg $ party_arg
+      $ explain_report_arg $ replay_check_arg $ log_out_arg)
+
 (* --- profile --- *)
 
 let profile_report_arg =
@@ -779,4 +1003,4 @@ let () =
        (Cmd.group info
           [ run_cmd; audit_cmd; attack_cmd; table1_cmd; sweep_cmd; scale_cmd;
             games_cmd; boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd;
-            profile_cmd ]))
+            explain_cmd; profile_cmd ]))

@@ -97,6 +97,15 @@ let timed ?audit name f =
   end
   else f ()
 
+(* Network-aware variant: the same phase mark additionally lands in the
+   flight recorder (when one is attached) at the current network round, so
+   forensic cones can name the protocol phase a message belongs to. *)
+let timed_net net name f =
+  (match Network.recorder net with
+  | Some r -> Repro_obs.Recorder.note_phase r ~round:(Network.round net) name
+  | None -> ());
+  timed ?audit:(Network.audit net) name f
+
 module Make (S : Srds_intf.SCHEME) = struct
   module W = Srds_intf.Wire (S)
   module B = Srds_intf.Batch (S)
@@ -118,7 +127,7 @@ module Make (S : Srds_intf.SCHEME) = struct
     adversary : Network.adversary option;
   }
 
-  let make_ctx ?audit (cfg : config) : ctx =
+  let make_ctx ?audit ?recorder (cfg : config) : ctx =
     Repro_crypto.Wots.clear_cache ();
     let n = cfg.n in
     let rng = Rng.create cfg.seed in
@@ -136,13 +145,30 @@ module Make (S : Srds_intf.SCHEME) = struct
     in
     let net = Network.create ~n ~corrupt:cfg.corrupt in
     Option.iter (Network.attach_audit net) audit;
+    Option.iter (Network.attach_recorder net) recorder;
     (* Phase B: election establishes the tree. *)
     let ae =
-      timed ?audit:(Network.audit net) "B: election" (fun () ->
+      timed_net net "B: election" (fun () ->
           Ae_comm.establish_with_assignment net params ~slot_party
             ~rng:(Rng.of_label rng "election"))
     in
     let tree = Ae_comm.tree ae in
+    (* Committee memberships are public outputs of the election: record the
+       whole tree plus the supreme committee so forensic consumers can tie
+       message flow to committee structure without re-deriving the tree. *)
+    (match Network.recorder net with
+    | Some r ->
+      let round = Network.round net in
+      for level = 1 to params.Params.height do
+        for idx = 0 to Tree.nodes_at_level tree ~level - 1 do
+          Repro_obs.Recorder.note_committee r ~round ~level ~idx
+            ~members:(Array.to_list (Tree.assigned tree ~level ~idx))
+        done
+      done;
+      Repro_obs.Recorder.note_committee r ~round
+        ~level:(params.Params.height + 1) ~idx:0
+        ~members:(Array.to_list (Tree.supreme_committee tree))
+    | None -> ());
     {
       net;
       rng;
@@ -180,7 +206,7 @@ module Make (S : Srds_intf.SCHEME) = struct
   let certify ctx ~label ~values : bytes option array =
     let n = Network.n ctx.net in
     let net = ctx.net in
-    let timed name f = timed ?audit:(Network.audit net) name f in
+    let timed name f = timed_net net name f in
     let params = ctx.params in
     let tree = ctx.tree in
 
@@ -466,11 +492,29 @@ module Make (S : Srds_intf.SCHEME) = struct
         let s = Encode.r_bytes src in
         (payload, s))
     in
-    let accept p pair_bytes sig_bytes =
+    (* A party decides the moment it first accepts a verifying certificate;
+       that moment (party, round, value) is a recorded event — the anchor
+       the causal-cone extractor explains backwards from. *)
+    let note_decide ~round p payload =
+      match Network.recorder net with
+      | None -> ()
+      | Some r ->
+        let value =
+          if Bytes.length payload = 1 then
+            if Bytes.get payload 0 = '\000' then "0" else "1"
+          else
+            Repro_obs.Recorder.(hex_of_digest (digest_of_payload payload))
+        in
+        Repro_obs.Recorder.note_decide r ~round ~party:p ~value
+    in
+    let accept p ~round pair_bytes sig_bytes =
       match (pair_of_msg pair_bytes, W.of_bytes sig_bytes) with
       | Some (payload, _s), Some sg ->
         if S.verify ctx.pp ~vks:ctx.vks ~msg:pair_bytes sg then begin
-          if outputs.(p) = None then outputs.(p) <- Some payload;
+          if outputs.(p) = None then begin
+            outputs.(p) <- Some payload;
+            note_decide ~round p payload
+          end;
           true
         end
         else false
@@ -478,7 +522,6 @@ module Make (S : Srds_intf.SCHEME) = struct
     in
     let boost_tag = "boost-" ^ label in
     let boost_send p ~round ~inbox =
-      ignore round;
       ignore inbox;
       match received_cert.(p) with
       | Some cert -> (
@@ -486,7 +529,7 @@ module Make (S : Srds_intf.SCHEME) = struct
         | Some (pair_bytes, sig_bytes) -> (
           match pair_of_msg pair_bytes with
           | Some (_payload, s) ->
-            ignore (accept p pair_bytes sig_bytes);
+            ignore (accept p ~round pair_bytes sig_bytes);
             let targets =
               Repro_crypto.Prf.subset
                 ~key:(Repro_crypto.Prf.of_seed s)
@@ -498,7 +541,6 @@ module Make (S : Srds_intf.SCHEME) = struct
       | None -> ()
     in
     let boost_recv p ~round ~inbox =
-      ignore round;
       List.iter
         (fun (m : Wire.msg) ->
           if m.Wire.tag = boost_tag && outputs.(p) = None then
@@ -512,7 +554,7 @@ module Make (S : Srds_intf.SCHEME) = struct
                   Repro_crypto.Prf.subset_mem
                     ~key:(Repro_crypto.Prf.of_seed s)
                     ~index:m.Wire.src ~n ~size:ctx.boost_degree p
-                then ignore (accept p pair_bytes sig_bytes)
+                then ignore (accept p ~round pair_bytes sig_bytes)
               | None -> ())
             | None -> ())
         inbox
@@ -535,9 +577,9 @@ module Make (S : Srds_intf.SCHEME) = struct
 
   (* --- the full Byzantine agreement protocol --- *)
 
-  let run ?audit (cfg : config) : result =
-    let ctx = make_ctx ?audit cfg in
-    let timed name f = timed ?audit:(Network.audit ctx.net) name f in
+  let run ?audit ?recorder (cfg : config) : result =
+    let ctx = make_ctx ?audit ?recorder cfg in
+    let timed name f = timed_net ctx.net name f in
     let n = cfg.n in
     let corrupt p = Network.is_corrupt ctx.net p in
     let tree_good = Repro_aetree.Tree_check.check_goodness ctx.tree ~corrupt = [] in

@@ -24,13 +24,21 @@ type result = {
   breakdown : (string * int) list; (* sent bytes per tag group *)
 }
 
-let run ?audit (cfg : config) : result =
+let run ?audit ?recorder (cfg : config) : result =
   let n = cfg.n in
   let net = Network.create ~n ~corrupt:cfg.corrupt in
   Option.iter (Network.attach_audit net) audit;
+  Option.iter (Network.attach_recorder net) recorder;
   let honest p = Network.is_honest net p in
   let enc b = Bytes.make 1 (if b then '\001' else '\000') in
   let outputs = Array.make n None in
+  let note_decide ~round p v =
+    match Network.recorder net with
+    | Some r ->
+      Repro_obs.Recorder.note_decide r ~round ~party:p
+        ~value:(if v then "1" else "0")
+    | None -> ()
+  in
   let handler p ~round ~inbox =
     if round = 0 then begin
       if List.mem p cfg.holders then
@@ -50,9 +58,15 @@ let run ?audit (cfg : config) : result =
       let own = if List.mem p cfg.holders then [ cfg.value ] else [] in
       let t = List.length (List.filter (fun b -> b) (own @ votes)) in
       let f = List.length (own @ votes) - t in
-      if t + f > 0 then outputs.(p) <- Some (t > f)
+      if t + f > 0 then begin
+        outputs.(p) <- Some (t > f);
+        note_decide ~round p (t > f)
+      end
     end
   in
+  (match Network.recorder net with
+  | Some r -> Repro_obs.Recorder.note_phase r ~round:(Network.round net) "flood"
+  | None -> ());
   Repro_obs.Audit.with_phase (Network.audit net) "flood" (fun () ->
       Network.run net ~rounds:2
         (Array.init n (fun p -> if honest p then Some (handler p) else None)));

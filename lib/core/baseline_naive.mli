@@ -17,5 +17,7 @@ type result = {
   breakdown : (string * int) list;  (** sent bytes per tag group *)
 }
 
-val run : ?audit:Repro_obs.Audit.t -> config -> result
-(** [?audit] attaches a complexity auditor to the run's network. *)
+val run :
+  ?audit:Repro_obs.Audit.t -> ?recorder:Repro_obs.Recorder.t -> config -> result
+(** [?audit] attaches a complexity auditor to the run's network;
+    [?recorder] a flight recorder (sends, phase marks, decisions). *)

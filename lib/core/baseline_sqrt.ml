@@ -33,7 +33,7 @@ type result = {
 
 let group_size n = max 1 (Repro_util.Mathx.isqrt n)
 
-let run ?audit (cfg : config) : result =
+let run ?audit ?recorder (cfg : config) : result =
   let n = cfg.n in
   let g = group_size n in
   let num_groups = Repro_util.Mathx.ceil_div n g in
@@ -43,6 +43,7 @@ let run ?audit (cfg : config) : result =
   let row_members r = List.filter (fun p -> p < n) (List.init num_groups (fun k -> (k * g) + r)) in
   let net = Network.create ~n ~corrupt:cfg.corrupt in
   Option.iter (Network.attach_audit net) audit;
+  Option.iter (Network.attach_recorder net) recorder;
   let honest p = Network.is_honest net p in
   let enc b = Bytes.make 1 (if b then '\001' else '\000') in
   let dec payload =
@@ -87,9 +88,20 @@ let run ?audit (cfg : config) : result =
         List.filter_map (fun (m : Wire.msg) -> if m.Wire.tag = "row" then dec m.Wire.payload else None) inbox
       in
       let own = match group_value.(p) with Some v -> [ v ] | None -> [] in
-      outputs.(p) <- majority (own @ votes)
+      outputs.(p) <- majority (own @ votes);
+      match outputs.(p) with
+      | Some v -> (
+        match Network.recorder net with
+        | Some r ->
+          Repro_obs.Recorder.note_decide r ~round ~party:p
+            ~value:(if v then "1" else "0")
+        | None -> ())
+      | None -> ()
     end
   in
+  (match Network.recorder net with
+  | Some r -> Repro_obs.Recorder.note_phase r ~round:(Network.round net) "quorum"
+  | None -> ());
   Repro_obs.Audit.with_phase (Network.audit net) "quorum" (fun () ->
       Network.run net ~rounds:3
         (Array.init n (fun p -> if honest p then Some (handler p) else None)));

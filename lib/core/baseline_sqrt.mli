@@ -20,5 +20,7 @@ type result = {
 
 val group_size : int -> int
 
-val run : ?audit:Repro_obs.Audit.t -> config -> result
-(** [?audit] attaches a complexity auditor to the run's network. *)
+val run :
+  ?audit:Repro_obs.Audit.t -> ?recorder:Repro_obs.Recorder.t -> config -> result
+(** [?audit] attaches a complexity auditor to the run's network;
+    [?recorder] a flight recorder (sends, phase marks, decisions). *)

@@ -171,21 +171,25 @@ let run_full_ba name run_fn ~n ~beta ~seed : row =
          (if r.Balanced_ba.tree_good then "" else " tree-degraded"))
     ~breakdown:r.Balanced_ba.breakdown
 
-(* [audit] is threaded into the protocol's own network; callers that want
-   the auditor's verdict use {!run_audited}. *)
-let run_with ?audit ~protocol ~n ~beta ~seed () : row =
+(* [audit] and [recorder] are threaded into the protocol's own network;
+   callers that want the auditor's verdict use {!run_audited}, callers that
+   want the flight-recorded log use {!run_recorded}. *)
+let run_with ?audit ?recorder ~protocol ~n ~beta ~seed () : row =
   match protocol with
   | This_work_owf ->
-    run_full_ba "this-work-owf" (Ba_owf.run ?audit) ~n ~beta ~seed
+    run_full_ba "this-work-owf" (Ba_owf.run ?audit ?recorder) ~n ~beta ~seed
   | This_work_snark ->
-    run_full_ba "this-work-snark" (Ba_snark.run ?audit) ~n ~beta ~seed
+    run_full_ba "this-work-snark" (Ba_snark.run ?audit ?recorder) ~n ~beta ~seed
   | Multisig_boost ->
-    run_full_ba "multisig-boost" (Ba_multisig.run ?audit) ~n ~beta ~seed
+    run_full_ba "multisig-boost" (Ba_multisig.run ?audit ?recorder) ~n ~beta
+      ~seed
   | Sqrt_boost ->
     let rng = Rng.create seed in
     let corrupt = corrupt_set rng ~n ~beta in
     let holders = holders rng ~n ~corrupt in
-    let r = Baseline_sqrt.run ?audit { n; corrupt; holders; value = true; seed } in
+    let r =
+      Baseline_sqrt.run ?audit ?recorder { n; corrupt; holders; value = true; seed }
+    in
     row_of_report ~protocol:"sqrt-quorum" ~n ~beta ~report:r.Baseline_sqrt.report
       ~ok:(r.Baseline_sqrt.agreed && r.Baseline_sqrt.correct_fraction > 0.99)
       ~note:(Printf.sprintf "correct=%.2f" r.Baseline_sqrt.correct_fraction)
@@ -194,7 +198,9 @@ let run_with ?audit ~protocol ~n ~beta ~seed () : row =
     let rng = Rng.create seed in
     let corrupt = corrupt_set rng ~n ~beta in
     let holders = holders rng ~n ~corrupt in
-    let r = Baseline_naive.run ?audit { n; corrupt; holders; value = true; seed } in
+    let r =
+      Baseline_naive.run ?audit ?recorder { n; corrupt; holders; value = true; seed }
+    in
     row_of_report ~protocol:"naive-flood" ~n ~beta ~report:r.Baseline_naive.report
       ~ok:(r.Baseline_naive.agreed && r.Baseline_naive.correct_fraction > 0.99)
       ~note:(Printf.sprintf "correct=%.2f" r.Baseline_naive.correct_fraction)
@@ -295,7 +301,8 @@ let attack_protocols = [ This_work_owf; This_work_snark ]
 
 let c_attack_cells = Repro_obs.Counters.make "attack.cells"
 
-let run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail =
+let run_attack_cell ?recorder ~protocol ~strategy_name ~n ~beta ~seed
+    ~expect_fail () =
   let strategy =
     match Strategy.find ~n ~seed strategy_name with
     | Some s -> s
@@ -308,8 +315,8 @@ let run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail =
   let cfg = Balanced_ba.default_config ~adversary ~n ~corrupt ~inputs ~seed () in
   let (r : Balanced_ba.result) =
     match protocol with
-    | This_work_owf -> Ba_owf.run cfg
-    | This_work_snark -> Ba_snark.run cfg
+    | This_work_owf -> Ba_owf.run ?recorder cfg
+    | This_work_snark -> Ba_snark.run ?recorder cfg
     | _ -> invalid_arg "attack matrix: pipeline protocols only (owf/snark)"
   in
   let ok =
@@ -363,7 +370,7 @@ let attack_matrix ?(betas = [ 0.0; 0.0625; 0.125 ]) ?(sanity_betas = [ 0.45 ])
   let results =
     Parallel.map_list ~chunk:1
       (fun (protocol, strategy_name, beta, seed, expect_fail) ->
-        run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail)
+        run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail ())
       cells
   in
   {
@@ -943,3 +950,252 @@ let profile_compare ~prev ~cur ~threshold =
       ->
       bad "current" other
     | other, _ -> bad "previous" other)
+
+(* --- Forensics: flight-recorded runs, causal cones, equivocation evidence
+
+   Three consumers share the flight recorder (Repro_obs.Recorder) riding the
+   network's send choke point:
+
+   - explain: per-decider causal cones, each per-round slice checked against
+     the protocol's *declared* round-locality budget curve. The this-work
+     pipelines must explain every decision within their polylog locality;
+     naive flooding's cone is Theta(n) and visibly blows the same check.
+   - evidence: conflicting same-(src, round, tag) sends by corrupt parties,
+     packaged as verifiable equivocation-evidence bundles for failing (and
+     may-fail sanity) attack-matrix cells.
+   - replay: Repro_net.Replay re-drives the recorded log and byte-compares;
+     the harness in bin/ba_sim exposes it as [explain --replay-check]. *)
+
+module Recorder = Repro_obs.Recorder
+
+let run_recorded ?(keep_payloads = false) ~protocol ~n ~beta ~seed () :
+    row * Recorder.t * int list =
+  let r = Recorder.create ~keep_payloads () in
+  let row = run_with ~recorder:r ~protocol ~n ~beta ~seed () in
+  (* The corrupt set is every run's first RNG draw (see the run_with
+     branches), so it is recomputable here without touching protocol code;
+     replay and evidence consumers get the ground truth alongside the log. *)
+  let corrupt = corrupt_set (Rng.create seed) ~n ~beta in
+  (row, r, corrupt)
+
+type explain_report = {
+  ex_protocol : string;
+  ex_n : int;
+  ex_beta : float;
+  ex_seed : int;
+  ex_budget : float option; (* declared per-round locality curve at this n *)
+  ex_cones : (Recorder.cone * int) list; (* cone, slices over budget *)
+  ex_violations : int; (* total over-budget slices across all cones *)
+}
+
+let locality_budget ~protocol ~n =
+  Option.map
+    (fun cv -> Audit.eval cv ~n ~kappa:Audit.kappa_default)
+    (budgets_of protocol).Audit.round_locality
+
+(* Cones for every recorded decider, extracted over one shared send index;
+   a slice (distinct senders feeding the cone in one round) above the
+   declared locality curve is a violation — the cone-size analogue of the
+   auditor's per-round locality check. *)
+let explain_cones ~protocol ~n ~beta ~seed (rec_ : Recorder.t) : explain_report =
+  let budget = locality_budget ~protocol ~n in
+  let cones = Recorder.causal_cones rec_ (Recorder.deciders rec_) in
+  let over (c : Recorder.cone) =
+    match budget with
+    | None -> 0
+    | Some b ->
+      List.length
+        (List.filter (fun (_, size) -> float_of_int size > b) c.Recorder.cone_per_round)
+  in
+  let checked = List.map (fun c -> (c, over c)) cones in
+  {
+    ex_protocol = protocol_name protocol;
+    ex_n = n;
+    ex_beta = beta;
+    ex_seed = seed;
+    ex_budget = budget;
+    ex_cones = checked;
+    ex_violations = List.fold_left (fun a (_, v) -> a + v) 0 checked;
+  }
+
+(* Minimal JSON string escaping for tags/strategy names (mirrors the
+   recorder's writer: the reports must stay byte-identical across reruns,
+   so all writers are hand-rolled). *)
+let jstr s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* schema repro-forensics/1, kind "explain". *)
+let explain_json (ex : explain_report) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"repro-forensics/1\",\n";
+  Buffer.add_string buf "  \"kind\": \"explain\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"protocol\": %s,\n" (jstr ex.ex_protocol));
+  Buffer.add_string buf (Printf.sprintf "  \"n\": %d,\n" ex.ex_n);
+  Buffer.add_string buf (Printf.sprintf "  \"beta\": %.4f,\n" ex.ex_beta);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" ex.ex_seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"locality_budget\": %s,\n"
+       (match ex.ex_budget with
+       | None -> "null"
+       | Some b -> Printf.sprintf "%.1f" b));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"violations\": %d,\n" ex.ex_violations);
+  Buffer.add_string buf "  \"cones\": [\n";
+  let last = List.length ex.ex_cones - 1 in
+  List.iteri
+    (fun i ((c : Recorder.cone), over) ->
+      let per_round =
+        String.concat ","
+          (List.map
+             (fun (r, s) -> Printf.sprintf "[%d,%d]" r s)
+             c.Recorder.cone_per_round)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"party\":%d,\"round\":%d,\"value\":%s,\"events\":%d,\"parties\":%d,\"max_slice\":%d,\"over_budget\":%d,\"per_round\":[%s]}%s\n"
+           c.Recorder.cone_party c.Recorder.cone_round
+           (jstr c.Recorder.cone_value) c.Recorder.cone_events
+           c.Recorder.cone_parties c.Recorder.cone_max_round_size over per_round
+           (if i = last then "" else ",")))
+    ex.ex_cones;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* --- attack forensics: evidence bundles for interesting matrix cells --- *)
+
+type forensic_bundle = {
+  fb_protocol : string;
+  fb_strategy : string;
+  fb_beta : float;
+  fb_seed : int;
+  fb_cell_ok : bool; (* the triggering cell's gate verdict *)
+  fb_expect_fail : bool;
+  fb_evidence : Recorder.evidence list; (* corrupt-only, verified *)
+}
+
+let strategy_equivocates name =
+  (* composed strategy names keep each component's name as a substring *)
+  let sub = "equivocate" in
+  let nl = String.length name and sl = String.length sub in
+  let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+  at 0
+
+(* Which matrix cells earn a forensic re-run: everything that failed its
+   gate (broken non-sanity cells and sanity rows that actually broke), plus
+   every equivocate cell at beta > 0 — the strategy provably equivocates,
+   so extraction coming back empty there would mean the extractor is blind
+   (the teeth self-check below turns that into a hard failure). *)
+let forensic_worthy (c : attack_cell) =
+  (not c.ac_ok) || (strategy_equivocates c.ac_strategy && c.ac_beta > 0.0)
+
+(* Re-run one cell with a recorder attached and extract verified
+   accountable evidence. The re-run is bit-identical to the original cell
+   (same parameters, deterministic simulation); recording changes no
+   traffic, only observes it. *)
+let cell_forensics (c : attack_cell) : forensic_bundle =
+  let protocol =
+    match protocol_of_name c.ac_protocol with
+    | Some p -> p
+    | None -> invalid_arg ("cell_forensics: unknown protocol " ^ c.ac_protocol)
+  in
+  let r = Recorder.create () in
+  let (_ : attack_cell) =
+    run_attack_cell ~recorder:r ~protocol ~strategy_name:c.ac_strategy
+      ~n:c.ac_n ~beta:c.ac_beta ~seed:c.ac_seed ~expect_fail:c.ac_expect_fail
+      ()
+  in
+  (* [corrupt_only]: honest protocols legitimately send distinct payloads
+     under one tag (per-recipient Shamir shares in the coin toss), so only
+     conflicts sourced at ground-truth corrupt parties are *accountable*
+     equivocation. Each bundle is re-verified against the log before it is
+     reported. *)
+  let evidence =
+    List.filter (Recorder.verify_evidence r)
+      (Recorder.conflicts ~corrupt_only:true r)
+  in
+  {
+    fb_protocol = c.ac_protocol;
+    fb_strategy = c.ac_strategy;
+    fb_beta = c.ac_beta;
+    fb_seed = c.ac_seed;
+    fb_cell_ok = c.ac_ok;
+    fb_expect_fail = c.ac_expect_fail;
+    fb_evidence = evidence;
+  }
+
+let attack_forensics (m : attack_matrix) : forensic_bundle list =
+  Parallel.map_list ~chunk:1 cell_forensics
+    (List.filter forensic_worthy m.am_cells)
+
+(* Teeth self-check: the equivocate strategy *always* equivocates at
+   beta > 0, so every one of its bundles must carry evidence. An extractor
+   that misses a planted equivocation is worse than none. *)
+let forensics_teeth bundles =
+  let planted =
+    List.filter
+      (fun b -> strategy_equivocates b.fb_strategy && b.fb_beta > 0.0)
+      bundles
+  in
+  planted <> [] && List.for_all (fun b -> b.fb_evidence <> []) planted
+
+(* schema repro-forensics/1, kind "attack". *)
+let attack_forensics_json ~n bundles =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"repro-forensics/1\",\n";
+  Buffer.add_string buf "  \"kind\": \"attack\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"n\": %d,\n" n);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"teeth\": %b,\n" (forensics_teeth bundles));
+  Buffer.add_string buf "  \"bundles\": [\n";
+  let last = List.length bundles - 1 in
+  List.iteri
+    (fun i b ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"protocol\":%s,\"strategy\":%s,\"beta\":%.4f,\"seed\":%d,\"cell_ok\":%b,\"expect\":%s,\"evidence\":[\n"
+           (jstr b.fb_protocol) (jstr b.fb_strategy) b.fb_beta b.fb_seed
+           b.fb_cell_ok
+           (jstr (if b.fb_expect_fail then "may-fail" else "pass")));
+      let elast = List.length b.fb_evidence - 1 in
+      List.iteri
+        (fun j (e : Recorder.evidence) ->
+          let variants =
+            String.concat ","
+              (List.map
+                 (fun (digest, count, dsts) ->
+                   Printf.sprintf
+                     "{\"digest\":%s,\"count\":%d,\"dsts\":[%s]}" (jstr digest)
+                     count
+                     (String.concat "," (List.map string_of_int dsts)))
+                 e.Recorder.ev_variants)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      {\"src\":%d,\"round\":%d,\"tag\":%s,\"src_corrupt\":%b,\"variants\":[%s]}%s\n"
+               e.Recorder.ev_src e.Recorder.ev_round (jstr e.Recorder.ev_tag)
+               e.Recorder.ev_src_corrupt variants
+               (if j = elast then "" else ",")))
+        b.fb_evidence;
+      Buffer.add_string buf
+        (Printf.sprintf "    ]}%s\n" (if i = last then "" else ",")))
+    bundles;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -95,15 +95,19 @@ val attack_protocols : protocol list
 (** The pipeline protocols the matrix covers (owf and snark Fig. 3). *)
 
 val run_attack_cell :
+  ?recorder:Repro_obs.Recorder.t ->
   protocol:protocol ->
   strategy_name:string ->
   n:int ->
   beta:float ->
   seed:int ->
   expect_fail:bool ->
+  unit ->
   attack_cell
 (** One cell: the full BA protocol against one instantiated strategy. Every
-    non-sanity failure bumps the [attack.violations.<strategy>] counter. *)
+    non-sanity failure bumps the [attack.violations.<strategy>] counter.
+    [?recorder] attaches a flight recorder to the cell's network (the
+    forensic re-run path); recording observes traffic without altering it. *)
 
 val attack_matrix :
   ?betas:float list ->
@@ -243,3 +247,89 @@ val profile_compare :
     (unparseable, wrong schema, missing deterministic section — e.g. a
     previous report predating a schema bump), which callers must not treat
     as a failure. *)
+
+(** {1 Forensics: flight-recorded runs, causal cones, evidence bundles}
+
+    Consumers of {!Repro_obs.Recorder} riding the network's send choke
+    point: decision explanation ([ba_sim explain]), accountable
+    equivocation-evidence extraction for attack-matrix cells, and transcript
+    replay ({!Repro_net.Replay}). All reports use schema
+    [repro-forensics/1] and are byte-identical across reruns. *)
+
+val run_recorded :
+  ?keep_payloads:bool ->
+  protocol:protocol ->
+  n:int ->
+  beta:float ->
+  seed:int ->
+  unit ->
+  row * Repro_obs.Recorder.t * int list
+(** Run one cell with a flight recorder attached; returns the row, the
+    recorder holding the full event log, and the run's ground-truth corrupt
+    set (recomputed: it is every run's first RNG draw). [keep_payloads]
+    (default false) stores raw payload bytes for replay; digests-only
+    otherwise. Recording observes traffic without altering it: the
+    transcript is bit-identical to the unrecorded run. *)
+
+type explain_report = {
+  ex_protocol : string;
+  ex_n : int;
+  ex_beta : float;
+  ex_seed : int;
+  ex_budget : float option;
+      (** the protocol's declared round-locality curve at this n *)
+  ex_cones : (Repro_obs.Recorder.cone * int) list;
+      (** per decider: causal cone + its count of over-budget round slices *)
+  ex_violations : int;  (** total over-budget slices across all cones *)
+}
+
+val locality_budget : protocol:protocol -> n:int -> float option
+(** The declared per-round locality budget curve evaluated at [n]. *)
+
+val explain_cones :
+  protocol:protocol -> n:int -> beta:float -> seed:int ->
+  Repro_obs.Recorder.t -> explain_report
+(** Causal cones for every recorded decider over one shared send index,
+    each per-round slice checked against the protocol's declared locality
+    curve — the polylog pipelines must explain every decision within their
+    locality budget; naive flooding's Theta(n) cone blows the same check. *)
+
+val explain_json : explain_report -> string
+(** Machine-readable report, schema [repro-forensics/1] kind ["explain"];
+    parses back with {!Repro_util.Json}. *)
+
+type forensic_bundle = {
+  fb_protocol : string;
+  fb_strategy : string;
+  fb_beta : float;
+  fb_seed : int;
+  fb_cell_ok : bool;  (** the triggering cell's gate verdict *)
+  fb_expect_fail : bool;
+  fb_evidence : Repro_obs.Recorder.evidence list;
+      (** corrupt-only conflicts, each re-verified against the log *)
+}
+
+val strategy_equivocates : string -> bool
+(** Whether a (possibly composed) strategy name contains the equivocate
+    component — such cells at beta > 0 carry a planted, provably
+    extractable equivocation. *)
+
+val forensic_worthy : attack_cell -> bool
+(** Cells that earn a forensic re-run: gate failures, plus every
+    equivocate-strategy cell at beta > 0 (where evidence must exist). *)
+
+val cell_forensics : attack_cell -> forensic_bundle
+(** Re-run one cell bit-identically with a recorder attached and extract
+    verified accountable equivocation evidence. *)
+
+val attack_forensics : attack_matrix -> forensic_bundle list
+(** {!cell_forensics} over every {!forensic_worthy} cell of the matrix,
+    fanned out on the domain pool in deterministic order. *)
+
+val forensics_teeth : forensic_bundle list -> bool
+(** Extractor self-check: the equivocate strategy provably equivocates at
+    beta > 0, so every such bundle must carry evidence — [true] iff at
+    least one planted-equivocation bundle exists and none came back empty. *)
+
+val attack_forensics_json : n:int -> forensic_bundle list -> string
+(** Machine-readable report, schema [repro-forensics/1] kind ["attack"]. *)

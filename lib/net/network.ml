@@ -21,6 +21,8 @@ type t = {
   corrupt : bool array;
   metrics : Metrics.t;
   mutable audit : Repro_obs.Audit.t option; (* online complexity auditor *)
+  mutable recorder : Repro_obs.Recorder.t option; (* flight recorder *)
+  mutable tap : (round:int -> Wire.msg -> unit) option; (* per-instance *)
   mutable staged : Wire.msg list; (* sent this round, reversed *)
   inboxes : Wire.msg list array; (* deliveries for the current round *)
   mutable dirty : int list; (* parties with a non-empty current inbox *)
@@ -50,6 +52,8 @@ let create ~n ~corrupt =
     corrupt = c;
     metrics = Metrics.create n;
     audit = None;
+    recorder = None;
+    tap = None;
     staged = [];
     inboxes = Array.make n [];
     dirty = [];
@@ -66,6 +70,16 @@ let audit t = t.audit
 let attach_audit t a =
   Repro_obs.Audit.set_corrupt a t.corrupt;
   t.audit <- Some a
+
+(* Like the auditor, a recorder belongs to one network: the ground-truth
+   corrupt mask rides along so evidence extraction can tell accountable
+   equivocation from honest per-recipient fan-out. *)
+let attach_recorder t r =
+  Repro_obs.Recorder.set_corrupt r t.corrupt;
+  t.recorder <- Some r
+
+let recorder t = t.recorder
+let set_tap t f = t.tap <- f
 let round t = t.round
 let is_corrupt t i = t.corrupt.(i)
 let is_honest t i = not t.corrupt.(i)
@@ -81,11 +95,11 @@ let h_msg_bytes = Repro_obs.Counters.histogram "net.msg_bytes"
 let h_active = Repro_obs.Counters.histogram "net.active_set"
 let h_dirty = Repro_obs.Counters.histogram "net.dirty_depth"
 
-(* Global transcript tap: observes every staged send, in send order, with
-   the network round it was staged in. The golden-transcript regression test
-   hashes the full trace through this hook; it sees exactly the traffic the
-   metrics meter, so any engine rewrite that perturbs message content or
-   ordering changes the digest. *)
+(* Compat shim: the historical process-global transcript tap. Taps are now
+   per-instance state ([t.tap], set by {!set_tap}) so concurrent networks on
+   the domain pool cannot clobber each other; the global hook survives for
+   single-network observers (the golden-transcript regression test) and is
+   consulted *in addition to* the instance tap on every send. *)
 let transcript_tap : (round:int -> Wire.msg -> unit) option ref = ref None
 let set_transcript_tap f = transcript_tap := f
 
@@ -97,7 +111,13 @@ let send t ~src:s ~dst ~tag payload =
   if t.in_adv_step && not t.corrupt.(s) then
     invalid_arg "Network.send: adversary send from honest src rejected";
   let m = { Wire.src = s; dst; tag; payload } in
+  (match t.tap with Some f -> f ~round:t.round m | None -> ());
   (match !transcript_tap with Some f -> f ~round:t.round m | None -> ());
+  (match t.recorder with
+  | Some r ->
+    Repro_obs.Recorder.note_send r ~round:t.round ~src:s ~dst ~tag
+      ~bits:(8 * Wire.size m) ~payload
+  | None -> ());
   Metrics.note_send t.metrics m;
   Repro_obs.Counters.observe h_msg_bytes (Bytes.length payload);
   Option.iter

@@ -30,17 +30,33 @@ val metrics : t -> Metrics.t
 val audit : t -> Repro_obs.Audit.t option
 (** The attached auditor, if any — protocol layers use it to tag phases. *)
 
+val attach_recorder : t -> Repro_obs.Recorder.t -> unit
+(** Attach a flight recorder: every subsequent send is captured as a
+    compact event (round, src, dst, tag, payload digest, bits), and the
+    ground-truth corrupt mask is handed over for evidence extraction.
+    Per-instance, like {!attach_audit}; capture is off when absent. *)
+
+val recorder : t -> Repro_obs.Recorder.t option
+(** The attached recorder, if any — protocol layers use it to mark phase
+    entries, committee memberships and decisions. *)
+
 val round : t -> int
 val is_corrupt : t -> int -> bool
 val is_honest : t -> int -> bool
 val honest_parties : t -> int list
 val corrupt_parties : t -> int list
 
+val set_tap : t -> (round:int -> Wire.msg -> unit) option -> unit
+(** Install (or clear) this network's transcript tap: invoked for every
+    accepted send on this instance, in send order, with the staging round,
+    before the metrics/audit/recorder accounting. Per-instance, so
+    concurrent networks on the domain pool never observe each other. *)
+
 val set_transcript_tap : (round:int -> Wire.msg -> unit) option -> unit
-(** Install (or clear) a global observer invoked for every accepted send on
-    every network, in send order, with the staging round. Test-only hook:
-    the golden-transcript regression test digests the full message trace
-    through it to pin down byte-identical executions. *)
+(** Compat shim: the historical process-global tap, consulted in addition
+    to {!set_tap}'s on every network. Single-network observers only (the
+    golden-transcript regression test digests the full message trace
+    through it); concurrent networks all feed it. *)
 
 val send : t -> src:int -> dst:int -> tag:string -> bytes -> unit
 (** Stage one message for delivery next round. Raises [Invalid_argument] if

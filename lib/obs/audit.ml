@@ -63,6 +63,7 @@ type round_rec = {
   tr_mean_bits : float;
   tr_active : int;
   tr_scheduled : int;
+  tr_sent_bits : int;
   tr_max_locality : int;
   tr_violations : int;
 }
@@ -96,6 +97,7 @@ type t = {
   mutable violation_count : int;
   mutable timeline_rev : round_rec list;
   mutable round_sched : int; (* parties the scheduler invoked this round *)
+  mutable round_sent : int; (* bits staged by sends this round, all parties *)
   mutable rounds_seen : int;
   mutable max_round_bits : int;
   mutable max_round_locality : int;
@@ -127,6 +129,7 @@ let create ?(label = "audit") ?(kappa = kappa_default) ~n ~budgets () =
     violation_count = 0;
     timeline_rev = [];
     round_sched = 0;
+    round_sent = 0;
     rounds_seen = 0;
     max_round_bits = 0;
     max_round_locality = 0;
@@ -192,7 +195,12 @@ let charge t p other bits =
   let ph = phase_cell t in
   ph.(p) <- ph.(p) + bits
 
-let note_send t ~src ~dst ~bits = charge t src dst bits
+(* [round_sent] sums over *all* sources (corrupt included): it mirrors what
+   the transcript tap / flight recorder observes — one charge per staged
+   send — so the two accountings are comparable per round. *)
+let note_send t ~src ~dst ~bits =
+  t.round_sent <- t.round_sent + bits;
+  charge t src dst bits
 let note_recv t ~src ~dst ~bits = charge t dst src bits
 
 (* Scheduler occupancy, reported once per round by the network stepper:
@@ -264,11 +272,13 @@ let end_round t ~round =
       tr_mean_bits = float_of_int !sum_bits /. float_of_int (max 1 t.honest_n);
       tr_active = !active;
       tr_scheduled = t.round_sched;
+      tr_sent_bits = t.round_sent;
       tr_max_locality = !max_loc;
       tr_violations = !viols;
     }
     :: t.timeline_rev;
   t.round_sched <- 0;
+  t.round_sent <- 0;
   List.iter
     (fun p ->
       t.round_bits.(p) <- 0;
@@ -360,9 +370,10 @@ let timeline_jsonl ?protocol t =
       | None -> Buffer.add_char buf '{');
       Buffer.add_string buf
         (Printf.sprintf
-           "\"round\":%d,\"phase\":\"%s\",\"max_bits\":%d,\"mean_bits\":%.1f,\"active\":%d,\"scheduled\":%d,\"max_locality\":%d,\"violations\":%d}\n"
+           "\"round\":%d,\"phase\":\"%s\",\"max_bits\":%d,\"mean_bits\":%.1f,\"active\":%d,\"scheduled\":%d,\"sent_bits\":%d,\"max_locality\":%d,\"violations\":%d}\n"
            r.tr_round (json_escape r.tr_phase) r.tr_max_bits r.tr_mean_bits
-           r.tr_active r.tr_scheduled r.tr_max_locality r.tr_violations))
+           r.tr_active r.tr_scheduled r.tr_sent_bits r.tr_max_locality
+           r.tr_violations))
     (timeline t);
   Buffer.contents buf
 

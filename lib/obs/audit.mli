@@ -118,6 +118,10 @@ type round_rec = {
   tr_mean_bits : float;
   tr_active : int;  (** honest parties that sent or received this round *)
   tr_scheduled : int;  (** handlers the scheduler invoked ({!note_scheduled}) *)
+  tr_sent_bits : int;
+      (** bits staged by sends this round, summed over all sources (corrupt
+          included) — exactly one charge per send the transcript tap sees,
+          so a flight recorder's per-round totals must match it *)
   tr_max_locality : int;
   tr_violations : int;  (** violations detected in this round *)
 }
@@ -127,7 +131,7 @@ val timeline : t -> round_rec list
 val timeline_jsonl : ?protocol:string -> t -> string
 (** One JSON object per line, one line per round. Keys: [protocol] (when
     given), [round], [phase], [max_bits], [mean_bits], [active],
-    [scheduled], [max_locality], [violations]. *)
+    [scheduled], [sent_bits], [max_locality], [violations]. *)
 
 (** {2 Observed aggregates (for reports and calibration)} *)
 

@@ -1,0 +1,177 @@
+(** Deterministic flight recorder and causal forensics.
+
+    The paper's locality claim (Thm 1.1 / the KSSV tradition) is that each
+    party's decision rests on a polylog-size slice of the network. The
+    auditor checks aggregate budgets online; this module keeps the
+    *evidence*: every staged send as a compact event (round, src, dst, tag,
+    payload digest, bits), plus protocol-level marks (phase entries,
+    committee memberships, per-party decisions). From the log it derives the
+    happens-before cone of any decision, scans for equivocation (conflicting
+    same-(src,round,tag) messages), and serializes to JSONL for replay.
+
+    An instance is owned by one protocol execution (one network) and mutated
+    single-threadedly by it, like {!Audit}. Capture is off by default —
+    nothing records unless a recorder is attached to a network. The event
+    stream is a function of the logical traffic only, so recorded logs are
+    byte-identical across reruns and [REPRO_DOMAINS] settings. *)
+
+(** {1 Events} *)
+
+type send_ev = {
+  s_round : int;
+  s_src : int;
+  s_dst : int;
+  s_tag : string;
+  s_digest : int64;  (** FNV-1a 64 of the payload bytes *)
+  s_bits : int;  (** 8 * wire size: the bits the meter/auditor charged *)
+  s_payload : string option;  (** raw payload, kept only with [keep_payloads] *)
+}
+
+type event =
+  | Send of send_ev
+  | Phase of { p_round : int; p_name : string }
+      (** protocol phase entered at [p_round] *)
+  | Committee of { c_round : int; c_level : int; c_idx : int; c_members : int list }
+      (** tree-node committee membership, fixed at [c_round] *)
+  | Decide of { d_round : int; d_party : int; d_value : string }
+      (** party's first accepted output *)
+
+val digest_of_payload : bytes -> int64
+(** FNV-1a 64 over the payload bytes (the digest stored in {!send_ev}). *)
+
+val hex_of_digest : int64 -> string
+(** 16 lowercase hex digits. *)
+
+(** {1 Recorder} *)
+
+type t
+
+val create : ?capacity:int -> ?spill:string -> ?keep_payloads:bool -> unit -> t
+(** Memory is bounded: at most [capacity] (default 2^21) events are held.
+    When the ring fills, the oldest [capacity] events are appended to the
+    [spill] JSONL file if one was given, else dropped (counted). With
+    [keep_payloads] the raw payload bytes ride along on send events —
+    required for replay, off by default. *)
+
+val set_corrupt : t -> bool array -> unit
+(** Ground-truth corrupt mask, recorded by the network on attach; used to
+    separate accountable equivocation from honest per-recipient fan-out. *)
+
+val is_corrupt : t -> int -> bool
+val keep_payloads : t -> bool
+
+(** {2 Feeding it (the network and protocol layers call these)} *)
+
+val note_send :
+  t -> round:int -> src:int -> dst:int -> tag:string -> bits:int ->
+  payload:bytes -> unit
+
+val note_phase : t -> round:int -> string -> unit
+val note_committee : t -> round:int -> level:int -> idx:int -> members:int list -> unit
+val note_decide : t -> round:int -> party:int -> value:string -> unit
+
+(** {2 Log access} *)
+
+val total_events : t -> int
+(** Events recorded over the whole run (in memory + spilled + dropped). *)
+
+val in_memory : t -> int
+val spilled : t -> int
+val dropped : t -> int
+
+val events : t -> event list
+(** In-memory events, oldest first. The full log is the spill file (if any)
+    followed by these. *)
+
+val iter : t -> (event -> unit) -> unit
+
+val close : t -> unit
+(** Flush the in-memory remainder to the spill file (if any) and close it,
+    making the file the complete log. Idempotent. *)
+
+(** {1 JSONL serialization}
+
+    One event per line, hand-rolled like the other report writers so
+    reruns stay byte-identical. Lines:
+    {v
+    {"e":"send","round":R,"src":S,"dst":D,"tag":"T","bits":B,"digest":"H"[,"payload":"HEX"]}
+    {"e":"phase","round":R,"name":"N"}
+    {"e":"committee","round":R,"level":L,"idx":I,"members":[..]}
+    {"e":"decide","round":R,"party":P,"value":"V"}
+    v} *)
+
+val event_jsonl : event -> string
+(** One line, no trailing newline. *)
+
+val to_jsonl : t -> string
+(** All in-memory events, newline-terminated lines. *)
+
+(** {1 Decisions and causal cones}
+
+    Happens-before: a send of round r is an edge src -> dst delivered at
+    round r+1; within a party, everything it held at round r flows into its
+    sends at rounds >= r. The causal cone of a decision (party p, round R)
+    is computed by backwards interest propagation: p's state matters up to
+    round R; a send (s -> d, round r) is in the cone iff d's state matters
+    at some round >= r+1, and then s's state matters at round r. *)
+
+val deciders : t -> (int * int * string) list
+(** [(party, round, value)] from the Decide events, in party order
+    (first decision per party). *)
+
+type cone = {
+  cone_party : int;
+  cone_round : int;  (** decision round *)
+  cone_value : string;
+  cone_events : int;  (** send events in the cone *)
+  cone_parties : int;  (** distinct parties involved, decider included *)
+  cone_per_round : (int * int) list;
+      (** ascending (round, distinct cone senders that round); rounds with
+          an empty slice are omitted *)
+  cone_samples : (int * int list) list;
+      (** per cone round, an ascending sample of at most 16 sender ids *)
+  cone_max_round_size : int;  (** max per-round slice, 0 for an empty cone *)
+}
+
+val causal_cones : t -> (int * int * string) list -> cone list
+(** Cones for the listed [(party, round, value)] decisions, sharing one
+    pass of log indexing. Only in-memory events are consulted: if events
+    were spilled or dropped the cone is a lower bound. *)
+
+val causal_cone : t -> party:int -> cone option
+(** Cone of [party]'s recorded decision, if it decided. *)
+
+val render_cone : ?phases:bool -> ?max_listed:int -> t -> cone -> string
+(** ASCII tree of the cone, decision at the root, one node per round slice
+    (most recent first). With [phases] each round is annotated with the
+    innermost Phase event active at it. At most [max_listed] (default 10)
+    party ids are printed per slice. *)
+
+(** {1 Equivocation evidence}
+
+    An equivocation is one (src, round, tag) key carrying >= 2 distinct
+    payload digests. Honest protocols here do fan out *per-recipient*
+    payloads under one tag (e.g. Shamir shares in the coin toss), so raw
+    conflicts are only *accountable* evidence when the source is corrupt —
+    the channels being authenticated, a corrupt source provably sent both.
+    [conflicts ~corrupt_only:true] is therefore the evidence extractor;
+    the unfiltered scan is available for exploration. *)
+
+type evidence = {
+  ev_src : int;
+  ev_round : int;
+  ev_tag : string;
+  ev_src_corrupt : bool;
+  ev_variants : (string * int * int list) list;
+      (** per distinct digest (hex): copies sent, ascending sample of
+          destinations (at most 8); >= 2 variants, sorted by digest *)
+}
+
+val conflicts : ?corrupt_only:bool -> t -> evidence list
+(** Conflicting same-(src,round,tag) groups, sorted by (round, src, tag);
+    [corrupt_only] (default false) keeps only corrupt sources. *)
+
+val verify_evidence : t -> evidence -> bool
+(** Re-scan the log and confirm the bundle: every claimed variant digest is
+    present with at least the claimed multiplicity under that exact
+    (src, round, tag), and the variants are pairwise distinct. *)

@@ -307,7 +307,7 @@ let test_regression_corpus () =
     (fun (strategy_name, protocol, n, beta, seed) ->
       let c =
         Runner.run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed
-          ~expect_fail:false
+          ~expect_fail:false ()
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s/%s n=%d beta=%.3f seed=%d" c.Runner.ac_protocol

@@ -1,0 +1,333 @@
+(* Forensics layer: flight recorder vs auditor conservation, causal cones,
+   equivocation evidence, transcript replay.
+
+   The conservation property is the tap/audit contract from the recorder's
+   design: the network's send choke point feeds the tap, the metrics, the
+   auditor and the recorder from the same call site, so the recorder must
+   observe every send in exact send order and its per-round bit totals must
+   equal the auditor's [tr_sent_bits] — on both the dense handler-array
+   stepper and the delivery-driven sparse one. *)
+
+open Repro_core
+module Rng = Repro_util.Rng
+module Network = Repro_net.Network
+module Replay = Repro_net.Replay
+module Recorder = Repro_obs.Recorder
+module Audit = Repro_obs.Audit
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: recorder/auditor conservation on random traffic             *)
+(* ------------------------------------------------------------------ *)
+
+let tags = [| "a"; "bb"; "ccc" |]
+
+(* a script is n, rounds, and per-send (round, src, dst, tag idx, len) *)
+type script = { sc_n : int; sc_rounds : int; sc_sends : (int * int * int * int * int) list }
+
+let gen_script =
+  QCheck.Gen.(
+    int_range 4 10 >>= fun n ->
+    int_range 1 5 >>= fun rounds ->
+    list_size (int_range 1 40)
+      (int_range 0 (rounds - 1) >>= fun r ->
+       int_range 0 (n - 1) >>= fun src ->
+       int_range 0 (n - 1) >>= fun dst ->
+       int_range 0 (Array.length tags - 1) >>= fun tg ->
+       int_range 0 16 >>= fun len -> return (r, src, dst, tg, len))
+    >>= fun sends -> return { sc_n = n; sc_rounds = rounds; sc_sends = sends })
+
+let arb_script =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "n=%d rounds=%d sends=%d" s.sc_n s.sc_rounds
+        (List.length s.sc_sends))
+    gen_script
+
+let payload_of ~src ~dst ~len =
+  Bytes.init len (fun k -> Char.chr (((src * 31) + (dst * 7) + (k * 13)) land 0xff))
+
+(* The network visits handlers in ascending party order each round, and a
+   party replays its scripted sends in script order — so the expected
+   observation order is: rounds ascending, then src ascending, then script
+   order within (round, src). *)
+let expected_sends script =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (r, src, dst, tg, len) ->
+      let prev = try Hashtbl.find by_key (r, src) with Not_found -> [] in
+      Hashtbl.replace by_key (r, src) ((dst, tg, len) :: prev))
+    script.sc_sends;
+  let out = ref [] in
+  for r = script.sc_rounds - 1 downto 0 do
+    for src = script.sc_n - 1 downto 0 do
+      match Hashtbl.find_opt by_key (r, src) with
+      | None -> ()
+      | Some rev ->
+        (* [rev] is reverse script order; prepending while iterating it
+           restores script order within the (round, src) group *)
+        List.iter
+          (fun (dst, tg, len) ->
+            let payload = payload_of ~src ~dst ~len in
+            let tag = tags.(tg) in
+            out :=
+              ( r, src, dst, tag,
+                Recorder.digest_of_payload payload,
+                8 * (String.length tag + len + 4) )
+              :: !out)
+          rev
+    done
+  done;
+  !out
+
+(* Drive the script through a fresh network with an auditor and a recorder
+   both attached; [sparse] picks the delivery-driven stepper. *)
+let drive ~sparse script =
+  let net = Network.create ~n:script.sc_n ~corrupt:[] in
+  let audit =
+    Audit.create ~label:"forensics-qcheck" ~n:script.sc_n
+      ~budgets:Audit.no_budgets ()
+  in
+  Network.attach_audit net audit;
+  let r = Recorder.create () in
+  Network.attach_recorder net r;
+  let handler i ~round ~inbox:_ =
+    List.iter
+      (fun (rr, src, dst, tg, len) ->
+        if rr = round && src = i then
+          Network.send net ~src ~dst ~tag:tags.(tg)
+            (payload_of ~src ~dst ~len))
+      script.sc_sends
+  in
+  if sparse then
+    Network.run_active net ~rounds:script.sc_rounds
+      ~extra:(fun ~round:_ -> List.init script.sc_n Fun.id)
+      (fun i -> Some (handler i))
+  else
+    Network.run net ~rounds:script.sc_rounds
+      (Array.init script.sc_n (fun i -> Some (handler i)));
+  Audit.finalize audit;
+  (r, audit)
+
+let check_conservation ~sparse script =
+  let r, audit = drive ~sparse script in
+  let observed =
+    List.filter_map
+      (function
+        | Recorder.Send s ->
+          Some (s.Recorder.s_round, s.s_src, s.s_dst, s.s_tag, s.s_digest, s.s_bits)
+        | _ -> None)
+      (Recorder.events r)
+  in
+  let expected = expected_sends script in
+  if observed <> expected then
+    QCheck.Test.fail_reportf "send stream mismatch: %d observed vs %d expected"
+      (List.length observed) (List.length expected);
+  (* per-round bit totals vs the auditor's sent-bits accounting *)
+  let rec_bits = Hashtbl.create 8 in
+  List.iter
+    (fun (r, _, _, _, _, bits) ->
+      Hashtbl.replace rec_bits r
+        (bits + Option.value ~default:0 (Hashtbl.find_opt rec_bits r)))
+    observed;
+  List.iter
+    (fun tr ->
+      let mine =
+        Option.value ~default:0 (Hashtbl.find_opt rec_bits tr.Audit.tr_round)
+      in
+      if mine <> tr.Audit.tr_sent_bits then
+        QCheck.Test.fail_reportf
+          "round %d: recorder saw %d bits, auditor charged %d" tr.Audit.tr_round
+          mine tr.Audit.tr_sent_bits)
+    (Audit.timeline audit);
+  (* and every scripted round made it into the timeline *)
+  List.iter
+    (fun (r, _, _, _, _, _) ->
+      if
+        not
+          (List.exists (fun tr -> tr.Audit.tr_round = r) (Audit.timeline audit))
+      then QCheck.Test.fail_reportf "round %d missing from audit timeline" r)
+    observed;
+  true
+
+let prop_conservation_dense =
+  QCheck.Test.make ~count:80
+    ~name:"recorder: exact send order + per-round bits = audit (dense)"
+    arb_script
+    (check_conservation ~sparse:false)
+
+let prop_conservation_sparse =
+  QCheck.Test.make ~count:80
+    ~name:"recorder: exact send order + per-round bits = audit (sparse)"
+    arb_script
+    (check_conservation ~sparse:true)
+
+(* ------------------------------------------------------------------ *)
+(* Replay round-trip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_roundtrip () =
+  let row, r, corrupt =
+    Runner.run_recorded ~keep_payloads:true ~protocol:Runner.This_work_owf
+      ~n:24 ~beta:0.1 ~seed:3 ()
+  in
+  Alcotest.(check bool) "recorded run ok" true row.Runner.r_ok;
+  let jsonl = Recorder.to_jsonl r in
+  match Replay.events_of_jsonl jsonl with
+  | Error e -> Alcotest.fail ("jsonl parse: " ^ e)
+  | Ok evs ->
+    let sends =
+      List.length
+        (List.filter (function Recorder.Send _ -> true | _ -> false) evs)
+    in
+    Alcotest.(check int)
+      "parse preserves event count"
+      (List.length (Recorder.events r))
+      (List.length evs);
+    (match Replay.self_check ~n:24 ~corrupt evs with
+    | Error e -> Alcotest.fail ("replay self-check: " ^ e)
+    | Ok k -> Alcotest.(check int) "every send replayed byte-identical" sends k)
+
+let test_replay_detects_tamper () =
+  let _row, r, corrupt =
+    Runner.run_recorded ~keep_payloads:true ~protocol:Runner.Naive_boost ~n:12
+      ~beta:0.0 ~seed:7 ()
+  in
+  match Replay.events_of_jsonl (Recorder.to_jsonl r) with
+  | Error e -> Alcotest.fail ("jsonl parse: " ^ e)
+  | Ok evs ->
+    (* flip one byte of the first non-empty payload, keeping the recorded
+       digest: the replayed capture must diverge *)
+    let tampered = ref false in
+    let evs =
+      List.map
+        (function
+          | Recorder.Send s when (not !tampered) && s.Recorder.s_payload <> None
+            ->
+            let p = Option.get s.Recorder.s_payload in
+            if String.length p = 0 then Recorder.Send s
+            else begin
+              tampered := true;
+              let b = Bytes.of_string p in
+              Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+              Recorder.Send { s with s_payload = Some (Bytes.to_string b) }
+            end
+          | ev -> ev)
+        evs
+    in
+    Alcotest.(check bool) "found a payload to tamper with" true !tampered;
+    (match Replay.self_check ~n:12 ~corrupt evs with
+    | Ok _ -> Alcotest.fail "tampered transcript passed the replay check"
+    | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Equivocation evidence                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_equivocation_teeth () =
+  let r = Recorder.create () in
+  let cell =
+    Runner.run_attack_cell ~recorder:r ~protocol:Runner.This_work_owf
+      ~strategy_name:"equivocate" ~n:32 ~beta:0.2 ~seed:5 ~expect_fail:false ()
+  in
+  Alcotest.(check bool)
+    "equivocate is flagged by name" true
+    (Runner.strategy_equivocates cell.Runner.ac_strategy);
+  let bundles = Recorder.conflicts ~corrupt_only:true r in
+  Alcotest.(check bool)
+    "planted equivocation yields evidence" true (bundles <> []);
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "source is corrupt" true ev.Recorder.ev_src_corrupt;
+      Alcotest.(check bool)
+        ">= 2 distinct variants" true
+        (List.length ev.Recorder.ev_variants >= 2);
+      Alcotest.(check bool)
+        "bundle verifies against the log" true (Recorder.verify_evidence r ev))
+    bundles
+
+let test_honest_fanout_not_evidence () =
+  (* beta = 0: per-recipient fan-out (e.g. Shamir shares) produces raw
+     conflicts, but none are accountable — the corrupt_only extractor must
+     stay empty *)
+  let _row, r, _corrupt =
+    Runner.run_recorded ~protocol:Runner.This_work_owf ~n:24 ~beta:0.0 ~seed:11
+      ()
+  in
+  Alcotest.(check int)
+    "no accountable evidence without corruption" 0
+    (List.length (Recorder.conflicts ~corrupt_only:true r))
+
+(* ------------------------------------------------------------------ *)
+(* Causal cones vs the locality budget                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cones_within_budget_owf () =
+  let _row, r, _corrupt =
+    Runner.run_recorded ~protocol:Runner.This_work_owf ~n:32 ~beta:0.1 ~seed:2
+      ()
+  in
+  let rep =
+    Runner.explain_cones ~protocol:Runner.This_work_owf ~n:32 ~beta:0.1 ~seed:2
+      r
+  in
+  Alcotest.(check bool)
+    "every decider has a cone" true
+    (List.length rep.Runner.ex_cones > 16);
+  Alcotest.(check bool) "budget is declared" true (rep.Runner.ex_budget <> None);
+  Alcotest.(check int) "0 over-budget slices" 0 rep.Runner.ex_violations;
+  List.iter
+    (fun (c, _) ->
+      Alcotest.(check bool) "cone is non-empty" true (c.Recorder.cone_events > 0))
+    rep.Runner.ex_cones
+
+let test_naive_cone_blows_budget () =
+  let _row, r, _corrupt =
+    Runner.run_recorded ~protocol:Runner.Naive_boost ~n:32 ~beta:0.1 ~seed:2 ()
+  in
+  let rep =
+    Runner.explain_cones ~protocol:Runner.Naive_boost ~n:32 ~beta:0.1 ~seed:2 r
+  in
+  Alcotest.(check bool)
+    "flooding cone is Theta(n)" true
+    (List.exists
+       (fun (c, _) -> c.Recorder.cone_max_round_size > 16)
+       rep.Runner.ex_cones);
+  Alcotest.(check bool)
+    "and blows the polylog budget" true
+    (rep.Runner.ex_violations > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: logs byte-identical across reruns                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_rerun_identical () =
+  let capture () =
+    let _row, r, _ =
+      Runner.run_recorded ~protocol:Runner.This_work_snark ~n:24 ~beta:0.1
+        ~seed:4 ()
+    in
+    Recorder.to_jsonl r
+  in
+  let a = capture () and b = capture () in
+  Alcotest.(check bool) "log is non-trivial" true (String.length a > 1000);
+  Alcotest.(check bool) "rerun log byte-identical" true (String.equal a b)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_conservation_dense;
+    QCheck_alcotest.to_alcotest prop_conservation_sparse;
+    Alcotest.test_case "replay: round-trip byte-identical" `Quick
+      test_replay_roundtrip;
+    Alcotest.test_case "replay: tampering detected" `Quick
+      test_replay_detects_tamper;
+    Alcotest.test_case "evidence: equivocate strategy convicted" `Quick
+      test_equivocation_teeth;
+    Alcotest.test_case "evidence: honest fan-out not accountable" `Quick
+      test_honest_fanout_not_evidence;
+    Alcotest.test_case "cones: owf within locality budget" `Quick
+      test_cones_within_budget_owf;
+    Alcotest.test_case "cones: naive flooding blows budget" `Quick
+      test_naive_cone_blows_budget;
+    Alcotest.test_case "determinism: rerun log byte-identical" `Quick
+      test_log_rerun_identical;
+  ]

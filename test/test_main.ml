@@ -15,6 +15,7 @@ let () =
       ("core-misc", Test_core_misc.suite);
       ("attacks", Test_attacks.suite);
       ("adversary", Test_adversary.suite);
+      ("forensics", Test_forensics.suite);
       ("adversarial-ba", Test_adversarial_ba.suite);
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);

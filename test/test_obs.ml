@@ -457,7 +457,7 @@ let test_audit_timeline_jsonl () =
               (Json.member key v <> None))
           [
             "protocol"; "round"; "phase"; "max_bits"; "mean_bits"; "active";
-            "scheduled"; "max_locality"; "violations";
+            "scheduled"; "sent_bits"; "max_locality"; "violations";
           ])
     lines
 

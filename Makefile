@@ -1,5 +1,6 @@
 .PHONY: build test bench bench-smoke bench-compare audit attack trace \
-  scale scale-smoke profile profile-smoke forensics-smoke check clean
+  scale scale-smoke profile profile-smoke forensics-smoke async-smoke \
+  check clean
 
 build:
 	dune build
@@ -105,15 +106,31 @@ forensics-smoke: build
 	python3 -m json.tool FORENSICS_attack.json > /dev/null && \
 	  echo "FORENSICS_attack.json: valid JSON"
 
+# <60s E18 smoke: cross-backend conformance (dense, sparse and zero-knob
+# async must produce one transcript digest per cell) plus the async chaos
+# matrix — jitter and pre-GST loss against live adversaries, owf at n=256
+# included. Non-zero exit if any backend disagrees or a chaos cell breaks
+# agreement/validity or the post-GST bound. The repro-async/1 report is
+# validated as JSON and must be byte-identical across REPRO_DOMAINS=1 vs 4.
+async-smoke: build
+	REPRO_DOMAINS=1 ./_build/default/bin/ba_sim.exe conform --ns 64 \
+	  --report ASYNC_report1.json
+	python3 -m json.tool ASYNC_report1.json > /dev/null && \
+	  echo "ASYNC_report1.json: valid JSON"
+	REPRO_DOMAINS=4 ./_build/default/bin/ba_sim.exe conform --ns 64 \
+	  --report ASYNC_report4.json > /dev/null
+	cmp ASYNC_report1.json ASYNC_report4.json && \
+	  echo "conform report: byte-identical across REPRO_DOMAINS=1 vs 4"
+
 # Umbrella gate: build, unit tests, bench JSON smoke, attack matrix, scale
-# sweep smoke, profile smoke — everything a PR must keep green, with a
-# wall-clock guard so a performance regression in any harness fails the
-# target rather than silently eating CI minutes.
+# sweep smoke, profile smoke, async/conformance smoke — everything a PR
+# must keep green, with a wall-clock guard so a performance regression in
+# any harness fails the target rather than silently eating CI minutes.
 CHECK_BUDGET_S ?= 420
 check: build
 	@t0=$$(date +%s); \
 	$(MAKE) test bench-smoke attack scale-smoke profile-smoke \
-	  forensics-smoke || exit 1; \
+	  forensics-smoke async-smoke || exit 1; \
 	t1=$$(date +%s); elapsed=$$((t1 - t0)); \
 	echo "check: all gates green in $${elapsed}s (budget $(CHECK_BUDGET_S)s)"; \
 	if [ $$elapsed -gt $(CHECK_BUDGET_S) ]; then \
@@ -126,4 +143,5 @@ clean:
 	rm -f BENCH_results.json BENCH_prev.json trace.json audit_timeline.jsonl \
 	  ATTACK_report.json SCALE_report.json PROFILE_report.json \
 	  FORENSICS_report.json FORENSICS_attack.json \
-	  FORENSICS_log1.jsonl FORENSICS_log4.jsonl
+	  FORENSICS_log1.jsonl FORENSICS_log4.jsonl \
+	  ASYNC_report1.json ASYNC_report4.json

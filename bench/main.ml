@@ -40,11 +40,15 @@ let section title =
    is reset between experiments), separately the deterministic subset — the
    counters [--compare] gates regressions on, stable across pool sizes and
    machines — and (schema /5) a GC allocation profile: machine context like
-   wall time, never gated. *)
+   wall time, never gated. Schema /6 adds the E18 scheduler arrays:
+   `conform` (cross-backend transcript digests) and `async` (partial-
+   synchrony chaos cells). *)
 let experiment_times : (string * float * string * string * string) list ref =
   ref []
 let table1_json_rows : string list ref = ref []
 let scale_json_rows : string list ref = ref []
+let conform_json_rows : string list ref = ref []
+let async_json_rows : string list ref = ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -88,7 +92,7 @@ let scale_point_to_json ~cap (sp : Runner.scale_point) =
 let write_results ~total_wall_s =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-bench/5\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/6\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
@@ -126,7 +130,23 @@ let write_results ~total_wall_s =
         (Printf.sprintf "    %s%s\n" row
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "  ],\n";
+  (* schema /6: the E18 scheduler-backend arrays. Empty when the async
+     experiment did not run. *)
+  let array name rows =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [\n" name);
+    List.iteri
+      (fun i row ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %s%s\n" row
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]"
+  in
+  array "conform" !conform_json_rows;
+  Buffer.add_string buf ",\n";
+  array "async" !async_json_rows;
+  Buffer.add_string buf "\n";
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_results.json" in
   output_string oc (Buffer.contents buf);
@@ -214,7 +234,7 @@ let bench_sweep () =
     (fun n ->
       List.iter
         (fun protocol ->
-          let r = Runner.run ~protocol ~n ~beta:0.1 ~seed:1 in
+          let r = Runner.run ~protocol ~n ~beta:0.1 ~seed:1 () in
           Tablefmt.add_row t
             [
               r.Runner.r_protocol;
@@ -398,7 +418,7 @@ module Cs_vrf = Cert_size (Srds_vrf)
 module Cs_ms = Cert_size (Baseline_multisig)
 
 (* ------------------------------------------------------------------ *)
-(* E18: scheme-op exercise (real counter rows for every scheme)        *)
+(* scheme-op exercise (real counter rows for every scheme)             *)
 (* ------------------------------------------------------------------ *)
 
 (* The counter snapshot attached to each experiment in BENCH_results.json
@@ -436,7 +456,7 @@ module Ops_vrf = Scheme_ops (Srds_vrf)
 module Ops_ms = Scheme_ops (Baseline_multisig)
 
 let bench_srds_ops () =
-  section "E18: scheme-op exercise (keygen/sign/aggregate/verify counters)";
+  section "scheme-op exercise (keygen/sign/aggregate/verify counters)";
   Repro_crypto.Wots.clear_cache ();
   let n = if smoke then 48 else 96 in
   let t =
@@ -461,6 +481,80 @@ let bench_srds_ops () =
   print_endline
     "   has non-zero <scheme>.{keygen,sign,aggregate,verify} rows for all";
   print_endline "   four schemes, srds-vrf included)"
+
+(* ------------------------------------------------------------------ *)
+(* E18: scheduler backends — conformance + async partial synchrony     *)
+(* ------------------------------------------------------------------ *)
+
+let conform_cell_to_json (c : Runner.conform_cell) =
+  Printf.sprintf
+    "{\"protocol\":\"%s\",\"n\":%d,\"beta\":%.3f,\"seed\":%d,\"rows_ok\":%b,\"match\":%b,\"digests\":[%s]}"
+    (json_escape c.Runner.cf_protocol)
+    c.Runner.cf_n c.Runner.cf_beta c.Runner.cf_seed c.Runner.cf_rows_ok
+    c.Runner.cf_match
+    (String.concat ","
+       (List.map
+          (fun (b, d) ->
+            Printf.sprintf "{\"backend\":\"%s\",\"digest\":\"%s\"}"
+              (json_escape b) (json_escape d))
+          c.Runner.cf_digests))
+
+let async_cell_to_json (a : Runner.async_cell) =
+  Printf.sprintf
+    "{\"protocol\":\"%s\",\"strategy\":\"%s\",\"n\":%d,\"beta\":%.3f,\"seed\":%d,\"delta\":%d,\"jitter\":%d,\"loss\":%.3f,\"gst\":%d,\"rounds\":%d,\"vt\":%d,\"max_latency\":%d,\"pre_gst_lost\":%d,\"post_gst_late\":%d,\"agreed\":%b,\"decided\":%.3f,\"valid\":%b,\"digest\":\"%s\",\"ok\":%b}"
+    (json_escape a.Runner.ay_protocol)
+    (json_escape a.Runner.ay_strategy)
+    a.Runner.ay_n a.Runner.ay_beta a.Runner.ay_seed
+    a.Runner.ay_cfg.Repro_net.Sched.a_delta
+    a.Runner.ay_cfg.Repro_net.Sched.a_jitter
+    a.Runner.ay_cfg.Repro_net.Sched.a_loss
+    a.Runner.ay_cfg.Repro_net.Sched.a_gst a.Runner.ay_rounds a.Runner.ay_vt
+    a.Runner.ay_max_latency a.Runner.ay_pre_gst_lost a.Runner.ay_post_gst_late
+    a.Runner.ay_agreed a.Runner.ay_decided a.Runner.ay_valid
+    (json_escape a.Runner.ay_digest)
+    a.Runner.ay_ok
+
+let bench_async () =
+  section
+    "E18: scheduler backends - conformance + async partial synchrony";
+  (* One transcript per (protocol, n, seed), whatever executes it. *)
+  let ns = if smoke then [ 64 ] else [ 64; 256 ] in
+  let conform = Runner.conformance_cells ~ns () in
+  Tablefmt.print (Runner.conformance_table conform);
+  if not (List.for_all (fun c -> c.Runner.cf_match && c.Runner.cf_rows_ok) conform)
+  then failwith "E18: cross-backend conformance failed";
+  (* The chaos sweep: latency jitter and pre-GST loss against live
+     adversaries, over several GST horizons and seeds. Every cell must
+     reach agreement + validity with zero post-GST stragglers. *)
+  let knob_grid =
+    if smoke then [ (2, 3, 0.1, 24) ]
+    else [ (1, 1, 0.05, 16); (2, 3, 0.1, 24); (3, 5, 0.2, 64) ]
+  in
+  let seeds = if smoke then [ 1 ] else [ 1; 2 ] in
+  let cells =
+    List.concat_map
+      (fun (delta, jitter, loss, gst) ->
+        List.concat_map
+          (fun seed ->
+            Runner.async_cells ~seed
+              ~cfg:
+                { Repro_net.Sched.a_seed = seed; a_delta = delta;
+                  a_jitter = jitter; a_loss = loss; a_gst = gst }
+              ~cells:[ (Runner.This_work_owf, (if smoke then 64 else 128)) ]
+              ())
+          seeds)
+      knob_grid
+  in
+  Tablefmt.print (Runner.async_table cells);
+  print_endline
+    "  (vt > rounds: jitter and retransmitted pre-GST losses stretch the";
+  print_endline
+    "   virtual clock; post-GST every delivery lands within 1+delta, so the";
+  print_endline "   late column must be all zero)";
+  if not (List.for_all (fun a -> a.Runner.ay_ok) cells) then
+    failwith "E18: an async chaos cell broke agreement/validity";
+  conform_json_rows := List.map conform_cell_to_json conform;
+  async_json_rows := List.map async_cell_to_json cells
 
 let bench_certificates () =
   section "E7: certificate size - SRDS aggregate vs multisig(+bitmask) vs n";
@@ -1241,12 +1335,14 @@ let () =
   let experiments =
     if smoke then
       [ ("table1", bench_table1); ("breakdown", bench_breakdown);
-        ("scale", bench_scale); ("srds_ops", bench_srds_ops) ]
+        ("scale", bench_scale); ("async", bench_async);
+        ("srds_ops", bench_srds_ops) ]
     else
       [
         ("table1", bench_table1);
         ("sweep", bench_sweep);
         ("scale", bench_scale);
+        ("async", bench_async);
         ("games", bench_games);
         ("certificates", bench_certificates);
         ("srds_ops", bench_srds_ops);

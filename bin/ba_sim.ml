@@ -10,7 +10,8 @@
      boost      the one-shot boost experiment (E11) and the Thm-1.3 attack
      broadcast  the Cor. 1.2 amortization experiment
      explain    flight-record one run: causal cones, locality gate, replay
-     profile    self-profile one cell: hotspots, caches, pool utilization *)
+     profile    self-profile one cell: hotspots, caches, pool utilization
+     conform    cross-backend conformance + async partial-synchrony gate (E18) *)
 
 open Cmdliner
 open Repro_core
@@ -46,6 +47,61 @@ let ns_arg =
     value
     & opt (list int) [ 64; 128; 256 ]
     & info [ "ns" ] ~docv:"N1,N2,..." ~doc:"Party counts for tables/sweeps.")
+
+(* --- scheduler backend selection (run, conform) --- *)
+
+let backend_name_arg =
+  Arg.(
+    value & opt string "sparse"
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Scheduler backend: dense (mailbox scan), sparse (active sets, \
+           the default), or async (deterministic event-queue executor; its \
+           chaos knobs are --gst, --delta, --jitter, --loss). All three \
+           produce identical transcripts when the knobs are zero.")
+
+let gst_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "gst" ] ~docv:"T"
+        ~doc:
+          "Async backend: global stabilization time in virtual time units; \
+           before it messages may be lost (retransmitted after a timeout), \
+           after it every send is delivered within 1+delta.")
+
+let delta_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "delta" ] ~docv:"D"
+        ~doc:"Async backend: post-GST extra-delay bound.")
+
+let jitter_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "jitter" ] ~docv:"J"
+        ~doc:"Async backend: max extra latency drawn per message.")
+
+let loss_arg ~default =
+  Arg.(
+    value & opt float default
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Async backend: pre-GST per-message loss rate in [0,1).")
+
+let backend_of ~name ~seed ~gst ~delta ~jitter ~loss =
+  let cfg =
+    {
+      Repro_net.Sched.a_seed = seed;
+      a_delta = delta;
+      a_jitter = jitter;
+      a_loss = loss;
+      a_gst = gst;
+    }
+  in
+  match Repro_net.Sched.backend_of_string ~async:cfg name with
+  | Some b -> b
+  | None ->
+    prerr_endline ("unknown backend: " ^ name ^ " (dense | sparse | async)");
+    exit 2
 
 (* --- run --- *)
 
@@ -83,14 +139,16 @@ let audit_flag_arg =
            to setting REPRO_AUDIT.")
 
 let run_cmd =
-  let action protocol n beta seed trace_out counters breakdown audit =
+  let action protocol n beta seed trace_out counters breakdown audit
+      backend_name gst delta jitter loss =
     if trace_out <> None then Repro_obs.Trace.set_output trace_out;
     if counters then Repro_obs.Counters.enable ();
+    let backend = backend_of ~name:backend_name ~seed ~gst ~delta ~jitter ~loss in
     let row, auditor =
       if audit || Repro_obs.Audit.global_enabled () then
-        let row, a = Runner.run_audited ~protocol ~n ~beta ~seed in
+        let row, a = Runner.run_audited ~backend ~protocol ~n ~beta ~seed () in
         (row, Some a)
-      else (Runner.run ~protocol ~n ~beta ~seed, None)
+      else (Runner.run ~backend ~protocol ~n ~beta ~seed (), None)
     in
     Printf.printf
       "%s n=%d beta=%.2f: rounds=%d max=%.1fKiB/party mean=%.1fKiB total=%.1fMiB \
@@ -123,7 +181,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one protocol execution.")
     Term.(
       const action $ protocol_arg $ n_arg $ beta_arg $ seed_arg $ trace_out_arg
-      $ counters_arg $ breakdown_arg $ audit_flag_arg)
+      $ counters_arg $ breakdown_arg $ audit_flag_arg $ backend_name_arg
+      $ gst_arg ~default:0 $ delta_arg ~default:0 $ jitter_arg ~default:0
+      $ loss_arg ~default:0.0)
 
 (* --- audit --- *)
 
@@ -149,7 +209,7 @@ let audit_cmd =
     let results =
       List.map
         (fun protocol ->
-          let row, a = Runner.run_audited ~protocol ~n ~beta ~seed in
+          let row, a = Runner.run_audited ~protocol ~n ~beta ~seed () in
           (protocol, row, a))
         Runner.all_protocols
     in
@@ -993,6 +1053,88 @@ let profile_cmd =
       $ profile_report_arg $ profile_compare_arg $ profile_threshold_arg
       $ profile_top_arg)
 
+(* --- conform: E18 cross-backend conformance + async chaos gate --- *)
+
+let conform_ns_arg =
+  Arg.(
+    value
+    & opt (list int) [ 64; 256 ]
+    & info [ "ns" ] ~docv:"N1,N2,..."
+        ~doc:"Party counts for the conformance cells.")
+
+let conform_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable report (schema repro-async/1, \
+           byte-identical across reruns with the same arguments).")
+
+let conform_cmd =
+  let action ns beta seed gst delta jitter loss report_out =
+    let conform = Runner.conformance_cells ~ns ~beta ~seed () in
+    let cfg =
+      {
+        Repro_net.Sched.a_seed = seed;
+        a_delta = delta;
+        a_jitter = jitter;
+        a_loss = loss;
+        a_gst = gst;
+      }
+    in
+    let cells = Runner.async_cells ~beta ~seed ~cfg () in
+    Repro_util.Tablefmt.print (Runner.conformance_table conform);
+    Repro_util.Tablefmt.print (Runner.async_table cells);
+    List.iter
+      (fun c ->
+        if not c.Runner.cf_match then begin
+          Printf.printf "MISMATCH: %s n=%d backends disagree:\n"
+            c.Runner.cf_protocol c.Runner.cf_n;
+          List.iter
+            (fun (b, d) -> Printf.printf "  %-6s %s\n" b d)
+            c.Runner.cf_digests
+        end)
+      conform;
+    List.iter
+      (fun a ->
+        if not a.Runner.ay_ok then
+          Printf.printf
+            "BROKEN: %s vs %s n=%d (agreed=%b decided=%.2f valid=%b \
+             post_gst_late=%d)\n"
+            a.Runner.ay_protocol a.Runner.ay_strategy a.Runner.ay_n
+            a.Runner.ay_agreed a.Runner.ay_decided a.Runner.ay_valid
+            a.Runner.ay_post_gst_late)
+      cells;
+    (match report_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Runner.async_json ~conform ~cells);
+      close_out oc;
+      Printf.printf "report written to %s\n" file
+    | None -> ());
+    if Runner.async_gate_ok ~conform ~cells then
+      print_endline
+        "gate: one transcript per (protocol, n, seed) across backends; \
+         async chaos cells agreed within the post-GST bound"
+    else begin
+      print_endline "gate: E18 conformance/async FAILED";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "E18: run the cross-backend conformance suite (dense, sparse and \
+          zero-knob async must produce identical transcripts) and the async \
+          chaos matrix (jitter/loss before GST against live adversaries); \
+          non-zero exit if any backend disagrees or an async cell breaks \
+          agreement/validity or the post-GST delivery bound.")
+    Term.(
+      const action $ conform_ns_arg $ beta_arg $ seed_arg $ gst_arg ~default:24
+      $ delta_arg ~default:2 $ jitter_arg ~default:3 $ loss_arg ~default:0.1
+      $ conform_report_arg)
+
 let () =
   let info =
     Cmd.info "ba_sim" ~version:"1.0"
@@ -1003,4 +1145,4 @@ let () =
        (Cmd.group info
           [ run_cmd; audit_cmd; attack_cmd; table1_cmd; sweep_cmd; scale_cmd;
             games_cmd; boost_cmd; broadcast_cmd; attacks_cmd; breakdown_cmd;
-            explain_cmd; profile_cmd ]))
+            explain_cmd; profile_cmd; conform_cmd ]))

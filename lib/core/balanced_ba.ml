@@ -57,6 +57,9 @@ type result = {
   report : Metrics.report;
   breakdown : (string * int) list; (* sent bytes per protocol phase *)
   tree_good : bool;
+  net : Repro_net.Network.t;
+      (* the run's network, for post-hoc scheduler introspection (async
+         delivery stats, virtual clock) *)
 }
 
 let default_config ?adversary ~n ~corrupt ~inputs ~seed () =
@@ -127,7 +130,7 @@ module Make (S : Srds_intf.SCHEME) = struct
     adversary : Network.adversary option;
   }
 
-  let make_ctx ?audit ?recorder (cfg : config) : ctx =
+  let make_ctx ?audit ?recorder ?tap ?backend (cfg : config) : ctx =
     Repro_crypto.Wots.clear_cache ();
     let n = cfg.n in
     let rng = Rng.create cfg.seed in
@@ -143,9 +146,10 @@ module Make (S : Srds_intf.SCHEME) = struct
              result independent of the pool size. *)
           B.keygen_all pp master setup_rng ~count:num_slots)
     in
-    let net = Network.create ~n ~corrupt:cfg.corrupt in
+    let net = Network.create ?backend ~n ~corrupt:cfg.corrupt () in
     Option.iter (Network.attach_audit net) audit;
     Option.iter (Network.attach_recorder net) recorder;
+    Network.set_tap net tap;
     (* Phase B: election establishes the tree. *)
     let ae =
       timed_net net "B: election" (fun () ->
@@ -577,8 +581,8 @@ module Make (S : Srds_intf.SCHEME) = struct
 
   (* --- the full Byzantine agreement protocol --- *)
 
-  let run ?audit ?recorder (cfg : config) : result =
-    let ctx = make_ctx ?audit ?recorder cfg in
+  let run ?audit ?recorder ?tap ?backend (cfg : config) : result =
+    let ctx = make_ctx ?audit ?recorder ?tap ?backend cfg in
     let timed name f = timed_net ctx.net name f in
     let n = cfg.n in
     let corrupt p = Network.is_corrupt ctx.net p in
@@ -644,5 +648,6 @@ module Make (S : Srds_intf.SCHEME) = struct
       report = Metrics.report ~include_party:(honest ctx) (Network.metrics ctx.net);
       breakdown = Metrics.tag_breakdown (Network.metrics ctx.net);
       tree_good;
+      net = ctx.net;
     }
 end

@@ -24,11 +24,12 @@ type result = {
   breakdown : (string * int) list; (* sent bytes per tag group *)
 }
 
-let run ?audit ?recorder (cfg : config) : result =
+let run ?audit ?recorder ?tap ?backend (cfg : config) : result =
   let n = cfg.n in
-  let net = Network.create ~n ~corrupt:cfg.corrupt in
+  let net = Network.create ?backend ~n ~corrupt:cfg.corrupt () in
   Option.iter (Network.attach_audit net) audit;
   Option.iter (Network.attach_recorder net) recorder;
+  Network.set_tap net tap;
   let honest p = Network.is_honest net p in
   let enc b = Bytes.make 1 (if b then '\001' else '\000') in
   let outputs = Array.make n None in

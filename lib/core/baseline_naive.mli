@@ -18,6 +18,13 @@ type result = {
 }
 
 val run :
-  ?audit:Repro_obs.Audit.t -> ?recorder:Repro_obs.Recorder.t -> config -> result
+  ?audit:Repro_obs.Audit.t ->
+  ?recorder:Repro_obs.Recorder.t ->
+  ?tap:(round:int -> Repro_net.Wire.msg -> unit) ->
+  ?backend:Repro_net.Sched.backend ->
+  config ->
+  result
 (** [?audit] attaches a complexity auditor to the run's network;
-    [?recorder] a flight recorder (sends, phase marks, decisions). *)
+    [?recorder] a flight recorder (sends, phase marks, decisions); [?tap]
+    a per-instance transcript tap; [?backend] selects the scheduler
+    backend (default sparse). *)

@@ -33,7 +33,7 @@ type result = {
 
 let group_size n = max 1 (Repro_util.Mathx.isqrt n)
 
-let run ?audit ?recorder (cfg : config) : result =
+let run ?audit ?recorder ?tap ?backend (cfg : config) : result =
   let n = cfg.n in
   let g = group_size n in
   let num_groups = Repro_util.Mathx.ceil_div n g in
@@ -41,9 +41,10 @@ let run ?audit ?recorder (cfg : config) : result =
   let members_of_group k = List.filter (fun p -> p < n) (List.init g (fun j -> (k * g) + j)) in
   let row_of p = p mod g in
   let row_members r = List.filter (fun p -> p < n) (List.init num_groups (fun k -> (k * g) + r)) in
-  let net = Network.create ~n ~corrupt:cfg.corrupt in
+  let net = Network.create ?backend ~n ~corrupt:cfg.corrupt () in
   Option.iter (Network.attach_audit net) audit;
   Option.iter (Network.attach_recorder net) recorder;
+  Network.set_tap net tap;
   let honest p = Network.is_honest net p in
   let enc b = Bytes.make 1 (if b then '\001' else '\000') in
   let dec payload =

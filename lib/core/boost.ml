@@ -144,7 +144,7 @@ module Make (S : Srds_intf.SCHEME) = struct
       if leak_keys then forge_with_inverted_keys rng ~pp ~vks ~keys ~s ~y':false
       else None
     in
-    let net = Network.create ~n ~corrupt:cfg.corrupt in
+    let net = Network.create ~n ~corrupt:cfg.corrupt () in
     let honest p = Network.is_honest net p in
     let honest_list = List.filter honest (List.init n (fun p -> p)) in
     let iso_count =

@@ -171,24 +171,32 @@ let run_full_ba name run_fn ~n ~beta ~seed : row =
          (if r.Balanced_ba.tree_good then "" else " tree-degraded"))
     ~breakdown:r.Balanced_ba.breakdown
 
-(* [audit] and [recorder] are threaded into the protocol's own network;
-   callers that want the auditor's verdict use {!run_audited}, callers that
-   want the flight-recorded log use {!run_recorded}. *)
-let run_with ?audit ?recorder ~protocol ~n ~beta ~seed () : row =
+(* [audit], [recorder], [tap] and [backend] are threaded into the
+   protocol's own network; callers that want the auditor's verdict use
+   {!run_audited}, callers that want the flight-recorded log use
+   {!run_recorded}, callers pinning cross-backend conformance use
+   {!run_digest}. *)
+let run_with ?audit ?recorder ?tap ?backend ~protocol ~n ~beta ~seed () : row =
   match protocol with
   | This_work_owf ->
-    run_full_ba "this-work-owf" (Ba_owf.run ?audit ?recorder) ~n ~beta ~seed
+    run_full_ba "this-work-owf"
+      (Ba_owf.run ?audit ?recorder ?tap ?backend)
+      ~n ~beta ~seed
   | This_work_snark ->
-    run_full_ba "this-work-snark" (Ba_snark.run ?audit ?recorder) ~n ~beta ~seed
+    run_full_ba "this-work-snark"
+      (Ba_snark.run ?audit ?recorder ?tap ?backend)
+      ~n ~beta ~seed
   | Multisig_boost ->
-    run_full_ba "multisig-boost" (Ba_multisig.run ?audit ?recorder) ~n ~beta
-      ~seed
+    run_full_ba "multisig-boost"
+      (Ba_multisig.run ?audit ?recorder ?tap ?backend)
+      ~n ~beta ~seed
   | Sqrt_boost ->
     let rng = Rng.create seed in
     let corrupt = corrupt_set rng ~n ~beta in
     let holders = holders rng ~n ~corrupt in
     let r =
-      Baseline_sqrt.run ?audit ?recorder { n; corrupt; holders; value = true; seed }
+      Baseline_sqrt.run ?audit ?recorder ?tap ?backend
+        { n; corrupt; holders; value = true; seed }
     in
     row_of_report ~protocol:"sqrt-quorum" ~n ~beta ~report:r.Baseline_sqrt.report
       ~ok:(r.Baseline_sqrt.agreed && r.Baseline_sqrt.correct_fraction > 0.99)
@@ -199,25 +207,27 @@ let run_with ?audit ?recorder ~protocol ~n ~beta ~seed () : row =
     let corrupt = corrupt_set rng ~n ~beta in
     let holders = holders rng ~n ~corrupt in
     let r =
-      Baseline_naive.run ?audit ?recorder { n; corrupt; holders; value = true; seed }
+      Baseline_naive.run ?audit ?recorder ?tap ?backend
+        { n; corrupt; holders; value = true; seed }
     in
     row_of_report ~protocol:"naive-flood" ~n ~beta ~report:r.Baseline_naive.report
       ~ok:(r.Baseline_naive.agreed && r.Baseline_naive.correct_fraction > 0.99)
       ~note:(Printf.sprintf "correct=%.2f" r.Baseline_naive.correct_fraction)
       ~breakdown:r.Baseline_naive.breakdown
 
-let run_audited ~protocol ~n ~beta ~seed : row * Audit.t =
+let run_audited ?backend ~protocol ~n ~beta ~seed () : row * Audit.t =
   let a = make_auditor ~protocol ~n in
-  let row = run_with ~audit:a ~protocol ~n ~beta ~seed () in
+  let row = run_with ?backend ~audit:a ~protocol ~n ~beta ~seed () in
   Audit.finalize a;
   (row, a)
 
 (* In global audit mode every run carries an auditor; its violations reach
    the [audit.violations] registry counter even though the instance itself
    is dropped here. *)
-let run ~protocol ~n ~beta ~seed : row =
-  if Audit.global_enabled () then fst (run_audited ~protocol ~n ~beta ~seed)
-  else run_with ~protocol ~n ~beta ~seed ()
+let run ?backend ~protocol ~n ~beta ~seed () : row =
+  if Audit.global_enabled () then
+    fst (run_audited ?backend ~protocol ~n ~beta ~seed ())
+  else run_with ?backend ~protocol ~n ~beta ~seed ()
 
 (* --- E14: the full protocol under setup-aware corruption ---
 
@@ -301,8 +311,8 @@ let attack_protocols = [ This_work_owf; This_work_snark ]
 
 let c_attack_cells = Repro_obs.Counters.make "attack.cells"
 
-let run_attack_cell ?recorder ~protocol ~strategy_name ~n ~beta ~seed
-    ~expect_fail () =
+let run_attack_cell ?recorder ?tap ?backend ~protocol ~strategy_name ~n ~beta
+    ~seed ~expect_fail () =
   let strategy =
     match Strategy.find ~n ~seed strategy_name with
     | Some s -> s
@@ -315,8 +325,8 @@ let run_attack_cell ?recorder ~protocol ~strategy_name ~n ~beta ~seed
   let cfg = Balanced_ba.default_config ~adversary ~n ~corrupt ~inputs ~seed () in
   let (r : Balanced_ba.result) =
     match protocol with
-    | This_work_owf -> Ba_owf.run ?recorder cfg
-    | This_work_snark -> Ba_snark.run ?recorder cfg
+    | This_work_owf -> Ba_owf.run ?recorder ?tap ?backend cfg
+    | This_work_snark -> Ba_snark.run ?recorder ?tap ?backend cfg
     | _ -> invalid_arg "attack matrix: pipeline protocols only (owf/snark)"
   in
   let ok =
@@ -486,7 +496,7 @@ let table1_rows ?(ns = [ 64; 128; 256 ]) ?(beta = 0.1) ?(seed = 1) () =
     List.concat_map (fun n -> List.map (fun p -> (n, p)) all_protocols) ns
   in
   Parallel.map_list ~chunk:1
-    (fun (n, protocol) -> run ~protocol ~n ~beta ~seed)
+    (fun (n, protocol) -> run ~protocol ~n ~beta ~seed ())
     cells
 
 let table1_of_rows ?(beta = 0.1) rows =
@@ -536,7 +546,7 @@ type sweep_result = {
 
 let sweep ~protocol ~ns ~beta ~seed =
   let points =
-    Parallel.map_list ~chunk:1 (fun n -> (n, run ~protocol ~n ~beta ~seed)) ns
+    Parallel.map_list ~chunk:1 (fun n -> (n, run ~protocol ~n ~beta ~seed ())) ns
   in
   let fit f =
     Mathx.loglog_slope
@@ -572,7 +582,7 @@ let sweep_table ?(ns = [ 64; 128; 256; 512 ]) ?(beta = 0.1) ?(seed = 1)
   in
   let rows =
     Parallel.map_list ~chunk:1
-      (fun (protocol, n) -> (n, run ~protocol ~n ~beta ~seed))
+      (fun (protocol, n) -> (n, run ~protocol ~n ~beta ~seed ()))
       cells
   in
   let rec take_rows protocols rows =
@@ -648,7 +658,7 @@ let scale_cap = function
   | Multisig_boost -> Some 512
 
 let scale_point ~protocol ~n ~beta ~seed =
-  let row, a = run_audited ~protocol ~n ~beta ~seed in
+  let row, a = run_audited ~protocol ~n ~beta ~seed () in
   let p99_bits = 8.0 *. row.r_p99_bytes in
   let budget =
     Option.map
@@ -968,10 +978,10 @@ let profile_compare ~prev ~cur ~threshold =
 
 module Recorder = Repro_obs.Recorder
 
-let run_recorded ?(keep_payloads = false) ~protocol ~n ~beta ~seed () :
+let run_recorded ?(keep_payloads = false) ?backend ~protocol ~n ~beta ~seed () :
     row * Recorder.t * int list =
   let r = Recorder.create ~keep_payloads () in
-  let row = run_with ~recorder:r ~protocol ~n ~beta ~seed () in
+  let row = run_with ?backend ~recorder:r ~protocol ~n ~beta ~seed () in
   (* The corrupt set is every run's first RNG draw (see the run_with
      branches), so it is recomputable here without touching protocol code;
      replay and evidence consumers get the ground truth alongside the log. *)
@@ -1199,3 +1209,276 @@ let attack_forensics_json ~n bundles =
   Buffer.add_string buf "  ]\n";
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* --- E18: scheduler backends — cross-backend conformance + async partial
+   synchrony ---
+
+   The conformance suite is the contract that makes backend choice safe:
+   the same (protocol, n, beta, seed) cell runs on the dense, sparse and
+   async (all knobs zero) backends, and every send of every round is
+   hashed through the per-instance transcript tap. All three digests — and
+   the measured rows behind them — must be identical. The async matrix
+   then turns the chaos knobs on (latency jitter, pre-GST loss, a GST
+   horizon) against live adversary strategies and checks that agreement,
+   validity and the post-GST delivery bound all hold, deterministically on
+   any domain-pool size. *)
+
+module Sched = Repro_net.Sched
+module Sha256 = Repro_crypto.Sha256
+
+let run_digest ?backend ~protocol ~n ~beta ~seed () : row * string =
+  let ctx = Sha256.init () in
+  let feed_bytes b = Sha256.feed ctx b 0 (Bytes.length b) in
+  let feed_str s = feed_bytes (Bytes.unsafe_of_string s) in
+  let tap ~round (m : Repro_net.Wire.msg) =
+    feed_str (Printf.sprintf "%d|%d|%d|%s|" round m.src m.dst m.tag);
+    feed_bytes m.payload;
+    feed_str "\n"
+  in
+  let row = run_with ?backend ~tap ~protocol ~n ~beta ~seed () in
+  (row, Sha256.hex (Sha256.finish ctx))
+
+type conform_cell = {
+  cf_protocol : string;
+  cf_n : int;
+  cf_beta : float;
+  cf_seed : int;
+  cf_digests : (string * string) list; (* backend name -> transcript digest *)
+  cf_rows_ok : bool; (* every backend's row reached agreement/validity *)
+  cf_match : bool; (* digests and measured rows identical across backends *)
+}
+
+let conform_backends ~seed =
+  [ Sched.Dense; Sched.Sparse; Sched.Async { Sched.default_async with a_seed = seed } ]
+
+let conformance_cell ~protocol ~n ~beta ~seed : conform_cell =
+  let runs =
+    List.map
+      (fun backend ->
+        let row, digest = run_digest ~backend ~protocol ~n ~beta ~seed () in
+        (Sched.backend_name backend, row, digest))
+      (conform_backends ~seed)
+  in
+  let digests = List.map (fun (b, _, d) -> (b, d)) runs in
+  let all_equal eq = function
+    | [] -> true
+    | x0 :: rest -> List.for_all (eq x0) rest
+  in
+  {
+    cf_protocol = protocol_name protocol;
+    cf_n = n;
+    cf_beta = beta;
+    cf_seed = seed;
+    cf_digests = digests;
+    cf_rows_ok = List.for_all (fun (_, r, _) -> r.r_ok) runs;
+    cf_match =
+      all_equal (fun (_, d0) (_, d) -> d = d0) digests
+      (* the rows too: identical metrics, not just identical bytes *)
+      && all_equal (fun (_, r0, _) (_, r, _) -> r = r0) runs;
+  }
+
+let conformance_cells ?(protocols = [ This_work_owf; This_work_snark ])
+    ?(ns = [ 64; 256 ]) ?(beta = 0.1) ?(seed = 1) () : conform_cell list =
+  let cells =
+    List.concat_map (fun n -> List.map (fun p -> (p, n)) protocols) ns
+  in
+  Parallel.map_list ~chunk:1
+    (fun (protocol, n) -> conformance_cell ~protocol ~n ~beta ~seed)
+    cells
+
+(* --- the async chaos matrix --- *)
+
+type async_cell = {
+  ay_protocol : string;
+  ay_strategy : string;
+  ay_n : int;
+  ay_beta : float;
+  ay_seed : int;
+  ay_cfg : Sched.async_cfg;
+  ay_rounds : int;
+  ay_vt : int; (* final virtual time (> rounds once jitter/loss bite) *)
+  ay_max_latency : int;
+  ay_pre_gst_lost : int;
+  ay_post_gst_late : int; (* 0 by the partial-synchrony contract *)
+  ay_agreed : bool;
+  ay_decided : float;
+  ay_valid : bool;
+  ay_digest : string; (* transcript digest: rerun-determinism witness *)
+  ay_ok : bool;
+}
+
+let default_chaos ~seed : Sched.async_cfg =
+  { Sched.a_seed = seed; a_delta = 2; a_jitter = 3; a_loss = 0.1; a_gst = 24 }
+
+let run_async_cell ~protocol ~strategy_name ~n ~beta ~seed ~cfg () : async_cell =
+  let strategy =
+    match Strategy.find ~n ~seed strategy_name with
+    | Some s -> s
+    | None -> invalid_arg ("async matrix: unknown strategy " ^ strategy_name)
+  in
+  let adversary = Strategy.instantiate strategy ~seed in
+  let rng = Rng.create seed in
+  let corrupt = corrupt_set rng ~n ~beta in
+  let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+  let bcfg = Balanced_ba.default_config ~adversary ~n ~corrupt ~inputs ~seed () in
+  let ctx = Sha256.init () in
+  let feed_bytes b = Sha256.feed ctx b 0 (Bytes.length b) in
+  let feed_str s = feed_bytes (Bytes.unsafe_of_string s) in
+  let tap ~round (m : Repro_net.Wire.msg) =
+    feed_str (Printf.sprintf "%d|%d|%d|%s|" round m.src m.dst m.tag);
+    feed_bytes m.payload;
+    feed_str "\n"
+  in
+  let backend = Sched.Async cfg in
+  let (r : Balanced_ba.result) =
+    match protocol with
+    | This_work_owf -> Ba_owf.run ~tap ~backend bcfg
+    | This_work_snark -> Ba_snark.run ~tap ~backend bcfg
+    | _ -> invalid_arg "async matrix: pipeline protocols only (owf/snark)"
+  in
+  let net = r.Balanced_ba.net in
+  let stats =
+    match Repro_net.Network.async_stats net with
+    | Some s -> s
+    | None -> invalid_arg "async matrix: network has no async state"
+  in
+  let ok =
+    r.Balanced_ba.agreed
+    && r.Balanced_ba.decided_fraction > 0.95
+    && r.Balanced_ba.valid
+    && stats.Sched.st_post_gst_late = 0
+  in
+  {
+    ay_protocol = protocol_name protocol;
+    ay_strategy = strategy_name;
+    ay_n = n;
+    ay_beta = beta;
+    ay_seed = seed;
+    ay_cfg = cfg;
+    ay_rounds = r.Balanced_ba.report.Metrics.rounds;
+    ay_vt = Repro_net.Network.virtual_time net;
+    ay_max_latency = stats.Sched.st_max_latency;
+    ay_pre_gst_lost = stats.Sched.st_pre_gst_lost;
+    ay_post_gst_late = stats.Sched.st_post_gst_late;
+    ay_agreed = r.Balanced_ba.agreed;
+    ay_decided = r.Balanced_ba.decided_fraction;
+    ay_valid = r.Balanced_ba.valid;
+    ay_digest = Sha256.hex (Sha256.finish ctx);
+    ay_ok = ok;
+  }
+
+let async_cells ?(strategies = [ "silent"; "equivocate" ]) ?(beta = 0.1)
+    ?(seed = 1) ?cfg ?(cells = [ (This_work_owf, 256); (This_work_snark, 64) ])
+    () : async_cell list =
+  let cfg = match cfg with Some c -> c | None -> default_chaos ~seed in
+  let jobs =
+    List.concat_map
+      (fun (protocol, n) ->
+        List.map (fun strategy_name -> (protocol, n, strategy_name)) strategies)
+      cells
+  in
+  Parallel.map_list ~chunk:1
+    (fun (protocol, n, strategy_name) ->
+      run_async_cell ~protocol ~strategy_name ~n ~beta ~seed ~cfg ())
+    jobs
+
+let async_gate_ok ~conform ~cells =
+  List.for_all (fun c -> c.cf_match && c.cf_rows_ok) conform
+  && List.for_all (fun a -> a.ay_ok) cells
+
+(* schema repro-async/1: hand-rolled like the other reports so reruns stay
+   byte-identical; parses back with Repro_util.Json. *)
+let async_json ~conform ~cells =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"repro-async/1\",\n";
+  Buffer.add_string buf "  \"conform\": [\n";
+  let last = List.length conform - 1 in
+  List.iteri
+    (fun i c ->
+      let digests =
+        String.concat ","
+          (List.map
+             (fun (b, d) -> Printf.sprintf "{\"backend\":%s,\"digest\":%s}" (jstr b) (jstr d))
+             c.cf_digests)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"protocol\":%s,\"n\":%d,\"beta\":%.4f,\"seed\":%d,\"rows_ok\":%b,\"match\":%b,\"digests\":[%s]}%s\n"
+           (jstr c.cf_protocol) c.cf_n c.cf_beta c.cf_seed c.cf_rows_ok
+           c.cf_match digests
+           (if i = last then "" else ",")))
+    conform;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"async\": [\n";
+  let last = List.length cells - 1 in
+  List.iteri
+    (fun i a ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"protocol\":%s,\"strategy\":%s,\"n\":%d,\"beta\":%.4f,\"seed\":%d,\"delta\":%d,\"jitter\":%d,\"loss\":%.4f,\"gst\":%d,\"rounds\":%d,\"vt\":%d,\"max_latency\":%d,\"pre_gst_lost\":%d,\"post_gst_late\":%d,\"agreed\":%b,\"decided\":%.3f,\"valid\":%b,\"digest\":%s,\"ok\":%b}%s\n"
+           (jstr a.ay_protocol) (jstr a.ay_strategy) a.ay_n a.ay_beta a.ay_seed
+           a.ay_cfg.Sched.a_delta a.ay_cfg.Sched.a_jitter a.ay_cfg.Sched.a_loss
+           a.ay_cfg.Sched.a_gst a.ay_rounds a.ay_vt a.ay_max_latency
+           a.ay_pre_gst_lost a.ay_post_gst_late a.ay_agreed a.ay_decided
+           a.ay_valid (jstr a.ay_digest) a.ay_ok
+           (if i = last then "" else ",")))
+    cells;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"gate_ok\": %b\n" (async_gate_ok ~conform ~cells));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let conformance_table conform =
+  let t =
+    Tablefmt.create ~title:"E18 conformance: one transcript digest per backend"
+      ~headers:[ "protocol"; "n"; "seed"; "digest (first 16)"; "rows"; "match" ]
+      ~aligns:[ Tablefmt.Left; Right; Right; Left; Left; Left ]
+  in
+  List.iter
+    (fun c ->
+      let d0 = match c.cf_digests with (_, d) :: _ -> String.sub d 0 16 | [] -> "-" in
+      Tablefmt.add_row t
+        [
+          c.cf_protocol;
+          string_of_int c.cf_n;
+          string_of_int c.cf_seed;
+          d0;
+          (if c.cf_rows_ok then "ok" else "FAIL");
+          (if c.cf_match then "yes" else "NO");
+        ])
+    conform;
+  t
+
+let async_table cells =
+  let t =
+    Tablefmt.create ~title:"E18 async chaos matrix (partial synchrony)"
+      ~headers:
+        [
+          "protocol"; "strategy"; "n"; "gst"; "vt"; "maxlat"; "lost"; "late";
+          "decided"; "ok";
+        ]
+      ~aligns:
+        [
+          Tablefmt.Left; Left; Right; Right; Right; Right; Right; Right; Right;
+          Left;
+        ]
+  in
+  List.iter
+    (fun a ->
+      Tablefmt.add_row t
+        [
+          a.ay_protocol;
+          a.ay_strategy;
+          string_of_int a.ay_n;
+          string_of_int a.ay_cfg.Sched.a_gst;
+          string_of_int a.ay_vt;
+          string_of_int a.ay_max_latency;
+          string_of_int a.ay_pre_gst_lost;
+          string_of_int a.ay_post_gst_late;
+          Printf.sprintf "%.3f" a.ay_decided;
+          (if a.ay_ok then "ok" else "FAIL");
+        ])
+    cells;
+  t

@@ -41,14 +41,18 @@ type row = {
   r_breakdown : (string * int) list;  (** sent bytes per tag group *)
 }
 
-val run : protocol:protocol -> n:int -> beta:float -> seed:int -> row
+val run :
+  ?backend:Repro_net.Sched.backend ->
+  protocol:protocol -> n:int -> beta:float -> seed:int -> unit -> row
 (** When {!Repro_obs.Audit.global_enabled} (the [REPRO_AUDIT] environment
     variable, [--audit]), every run carries a fresh auditor with the
     protocol's declared budgets; violations reach the [audit.violations]
-    registry counter. *)
+    registry counter. [?backend] selects the scheduler backend (default
+    sparse; see {!Repro_net.Sched}). *)
 
 val run_audited :
-  protocol:protocol -> n:int -> beta:float -> seed:int ->
+  ?backend:Repro_net.Sched.backend ->
+  protocol:protocol -> n:int -> beta:float -> seed:int -> unit ->
   row * Repro_obs.Audit.t
 (** Like {!run} but always audited; returns the finalized auditor with its
     violations, timeline and per-phase breakdown. *)
@@ -96,6 +100,8 @@ val attack_protocols : protocol list
 
 val run_attack_cell :
   ?recorder:Repro_obs.Recorder.t ->
+  ?tap:(round:int -> Repro_net.Wire.msg -> unit) ->
+  ?backend:Repro_net.Sched.backend ->
   protocol:protocol ->
   strategy_name:string ->
   n:int ->
@@ -107,7 +113,8 @@ val run_attack_cell :
 (** One cell: the full BA protocol against one instantiated strategy. Every
     non-sanity failure bumps the [attack.violations.<strategy>] counter.
     [?recorder] attaches a flight recorder to the cell's network (the
-    forensic re-run path); recording observes traffic without altering it. *)
+    forensic re-run path); recording observes traffic without altering it.
+    [?tap] and [?backend] thread through to the cell's network. *)
 
 val attack_matrix :
   ?betas:float list ->
@@ -258,6 +265,7 @@ val profile_compare :
 
 val run_recorded :
   ?keep_payloads:bool ->
+  ?backend:Repro_net.Sched.backend ->
   protocol:protocol ->
   n:int ->
   beta:float ->
@@ -333,3 +341,115 @@ val forensics_teeth : forensic_bundle list -> bool
 
 val attack_forensics_json : n:int -> forensic_bundle list -> string
 (** Machine-readable report, schema [repro-forensics/1] kind ["attack"]. *)
+
+(** {1 E18: scheduler backends — conformance + async partial synchrony}
+
+    The cross-backend conformance suite is the contract that makes
+    {!Repro_net.Sched.backend} choice safe: the same (protocol, n, beta,
+    seed) cell must produce one transcript digest — and one measured row —
+    on the dense, sparse and async (all knobs zero) backends. The async
+    chaos matrix then runs the pipeline protocols under nonzero
+    latency/jitter/loss with a GST horizon against live adversary
+    strategies, checking agreement, validity and the post-GST delivery
+    bound. Both are deterministic for any [REPRO_DOMAINS] pool size. *)
+
+val run_digest :
+  ?backend:Repro_net.Sched.backend ->
+  protocol:protocol -> n:int -> beta:float -> seed:int -> unit ->
+  row * string
+(** Run one cell with a per-instance transcript tap hashing every send
+    ([round|src|dst|tag|payload] per message, in send order) through
+    SHA-256; returns the row and the hex digest. The per-instance tap
+    replaces the old process-global [Network.set_transcript_tap]: digests
+    of concurrent cells never interleave. *)
+
+type conform_cell = {
+  cf_protocol : string;
+  cf_n : int;
+  cf_beta : float;
+  cf_seed : int;
+  cf_digests : (string * string) list;
+      (** backend name -> transcript digest, in {!conform_backends} order *)
+  cf_rows_ok : bool;  (** every backend's row reached agreement/validity *)
+  cf_match : bool;
+      (** digests and measured rows identical across all backends *)
+}
+
+val conform_backends : seed:int -> Repro_net.Sched.backend list
+(** [Dense; Sparse; Async {default_async with a_seed = seed}] — the async
+    member runs with all chaos knobs at zero, where its transcript must be
+    byte-identical to the lock-step backends. *)
+
+val conformance_cell :
+  protocol:protocol -> n:int -> beta:float -> seed:int -> conform_cell
+
+val conformance_cells :
+  ?protocols:protocol list ->
+  ?ns:int list ->
+  ?beta:float ->
+  ?seed:int ->
+  unit ->
+  conform_cell list
+(** Defaults: owf and snark at n = 64 and 256, beta 0.1, seed 1 — the
+    acceptance cells. Fanned out on the domain pool, deterministic order. *)
+
+type async_cell = {
+  ay_protocol : string;
+  ay_strategy : string;  (** a {!Repro_adversary.Strategy.catalogue} name *)
+  ay_n : int;
+  ay_beta : float;
+  ay_seed : int;
+  ay_cfg : Repro_net.Sched.async_cfg;
+  ay_rounds : int;
+  ay_vt : int;  (** final virtual time (> rounds once jitter/loss bite) *)
+  ay_max_latency : int;
+  ay_pre_gst_lost : int;  (** messages that took the retransmit path *)
+  ay_post_gst_late : int;  (** 0 by the partial-synchrony contract *)
+  ay_agreed : bool;
+  ay_decided : float;
+  ay_valid : bool;
+  ay_digest : string;  (** transcript digest: rerun-determinism witness *)
+  ay_ok : bool;
+      (** agreed, >95% decided, valid, and no post-GST late delivery *)
+}
+
+val default_chaos : seed:int -> Repro_net.Sched.async_cfg
+(** delta 2, jitter 3, loss 0.1, GST 24: a pre-GST window of genuinely
+    chaotic scheduling followed by a bounded partial-synchrony tail. *)
+
+val run_async_cell :
+  protocol:protocol ->
+  strategy_name:string ->
+  n:int ->
+  beta:float ->
+  seed:int ->
+  cfg:Repro_net.Sched.async_cfg ->
+  unit ->
+  async_cell
+(** One async cell: the full BA protocol (owf/snark only) on the async
+    backend under [cfg], against one instantiated adversary strategy. *)
+
+val async_cells :
+  ?strategies:string list ->
+  ?beta:float ->
+  ?seed:int ->
+  ?cfg:Repro_net.Sched.async_cfg ->
+  ?cells:(protocol * int) list ->
+  unit ->
+  async_cell list
+(** Defaults: silent and equivocate against owf at n = 256 and snark at
+    n = 64, beta 0.1, seed 1, {!default_chaos} knobs — the acceptance
+    matrix. Fanned out on the domain pool, deterministic order. *)
+
+val async_gate_ok :
+  conform:conform_cell list -> cells:async_cell list -> bool
+(** The E18 gate: every conformance cell matches and passes, every async
+    cell holds agreement/validity/post-GST bound. *)
+
+val async_json :
+  conform:conform_cell list -> cells:async_cell list -> string
+(** Machine-readable report, schema [repro-async/1]; parses back with
+    {!Repro_util.Json}. Byte-identical across reruns with equal inputs. *)
+
+val conformance_table : conform_cell list -> Repro_util.Tablefmt.t
+val async_table : async_cell list -> Repro_util.Tablefmt.t

@@ -1,24 +1,45 @@
-(* Synchronous point-to-point network with authenticated channels and a
-   rushing, static adversary.
+(* Point-to-point network with authenticated channels and a rushing,
+   static adversary, executed under a pluggable scheduler backend.
 
-   Model (paper Sec. 1): n parties, lock-step rounds; a message sent in
-   round r is delivered at the start of round r+1; honest-to-honest
-   messages cannot be dropped or modified (authenticated channels). The
-   adversary statically controls a corrupt set; within each round it is
-   *rushing*: it observes every message the honest parties sent in the
-   current round before choosing the corrupt parties' messages.
+   Model (paper Sec. 1): n parties, rounds; a message sent in round r is
+   delivered at the start of round r+1; honest-to-honest messages cannot
+   be dropped or modified (authenticated channels). The adversary
+   statically controls a corrupt set; within each round it is *rushing*:
+   it observes every message the honest parties sent in the current round
+   before choosing the corrupt parties' messages.
+
+   The {!Sched.backend} chosen at {!create} decides how rounds execute:
+   [Dense] visits every party's handler slot every round, [Sparse] visits
+   only the active set, and [Async cfg] schedules every delivery off a
+   deterministic seeded event queue with per-edge latency/jitter/loss and
+   a GST knob (see sched.ml for the synchronizer argument: round
+   semantics survive the chaos knobs, delivery order and the virtual
+   clock do not). All three share this module's send choke point, so the
+   tap/recorder/metrics/audit consumers are backend-agnostic.
 
    Protocols are arrays of per-party step functions closing over their own
    state; corrupt slots are [None] and their behaviour lives entirely in the
    adversary. All sends are metered through {!Metrics}. *)
 
-let src = Logs.Src.create "repro.net" ~doc:"synchronous network simulator"
+let src = Logs.Src.create "repro.net" ~doc:"simulated network"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Live state of the async executor; absent on the lock-step backends. *)
+type async_state = {
+  a_cfg : Sched.async_cfg;
+  a_edges : Sched.edges;
+  a_heap : Wire.msg Sched.Heap.t; (* this round's pending deliveries *)
+  a_stats : Sched.stats;
+  mutable a_vt : int; (* virtual clock; advances to the round barrier *)
+  mutable a_seq : int; (* global send counter: heap tiebreak = send order *)
+}
 
 type t = {
   n : int;
   corrupt : bool array;
+  backend : Sched.backend;
+  async : async_state option; (* Some iff backend is Async *)
   metrics : Metrics.t;
   mutable audit : Repro_obs.Audit.t option; (* online complexity auditor *)
   mutable recorder : Repro_obs.Recorder.t option; (* flight recorder *)
@@ -40,16 +61,32 @@ type adversary = {
 
 let null_adversary = { adv_name = "null"; adv_step = (fun _ ~round:_ ~honest_staged:_ -> ()) }
 
-let create ~n ~corrupt =
+let create ?(backend = Sched.Sparse) ~n ~corrupt () =
   let c = Array.make n false in
   List.iter
     (fun i ->
       if i < 0 || i >= n then invalid_arg "Network.create: corrupt index";
       c.(i) <- true)
     corrupt;
+  let async =
+    match backend with
+    | Sched.Async cfg ->
+      Some
+        {
+          a_cfg = cfg;
+          a_edges = Sched.edges_create ~seed:cfg.Sched.a_seed;
+          a_heap = Sched.Heap.create ();
+          a_stats = Sched.stats_create ();
+          a_vt = 0;
+          a_seq = 0;
+        }
+    | Sched.Dense | Sched.Sparse -> None
+  in
   {
     n;
     corrupt = c;
+    backend;
+    async;
     metrics = Metrics.create n;
     audit = None;
     recorder = None;
@@ -62,8 +99,14 @@ let create ~n ~corrupt =
   }
 
 let n t = t.n
+let backend t = t.backend
 let metrics t = t.metrics
 let audit t = t.audit
+
+let virtual_time t =
+  match t.async with Some a -> a.a_vt | None -> t.round
+
+let async_stats t = Option.map (fun a -> a.a_stats) t.async
 
 (* The auditor only budget-checks honest parties: the adversary can always
    inflate its own parties' numbers. *)
@@ -95,14 +138,6 @@ let h_msg_bytes = Repro_obs.Counters.histogram "net.msg_bytes"
 let h_active = Repro_obs.Counters.histogram "net.active_set"
 let h_dirty = Repro_obs.Counters.histogram "net.dirty_depth"
 
-(* Compat shim: the historical process-global transcript tap. Taps are now
-   per-instance state ([t.tap], set by {!set_tap}) so concurrent networks on
-   the domain pool cannot clobber each other; the global hook survives for
-   single-network observers (the golden-transcript regression test) and is
-   consulted *in addition to* the instance tap on every send. *)
-let transcript_tap : (round:int -> Wire.msg -> unit) option ref = ref None
-let set_transcript_tap f = transcript_tap := f
-
 let send t ~src:s ~dst ~tag payload =
   if s < 0 || s >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: party index out of range";
@@ -112,11 +147,13 @@ let send t ~src:s ~dst ~tag payload =
     invalid_arg "Network.send: adversary send from honest src rejected";
   let m = { Wire.src = s; dst; tag; payload } in
   (match t.tap with Some f -> f ~round:t.round m | None -> ());
-  (match !transcript_tap with Some f -> f ~round:t.round m | None -> ());
   (match t.recorder with
   | Some r ->
-    Repro_obs.Recorder.note_send r ~round:t.round ~src:s ~dst ~tag
-      ~bits:(8 * Wire.size m) ~payload
+    (* On the async backend every event additionally carries the virtual
+       staging time, so replay can verify the timing schedule too. *)
+    let vt = Option.map (fun a -> a.a_vt) t.async in
+    Repro_obs.Recorder.note_send r ?vt ~round:t.round ~src:s ~dst ~tag
+      ~bits:(8 * Wire.size m) ~payload ()
   | None -> ());
   Metrics.note_send t.metrics m;
   Repro_obs.Counters.observe h_msg_bytes (Bytes.length payload);
@@ -136,12 +173,12 @@ let staged_honest t = List.rev (List.filter (fun m -> is_honest t m.Wire.src) t.
 
 (* Delivery costs O(messages), not O(n): the inbox array persists across
    rounds and only the slots dirtied last round are reset, so rounds where
-   polylog(n) parties talk never touch the other n - polylog(n) slots. *)
-let deliver t =
+   polylog(n) parties talk never touch the other n - polylog(n) slots.
+   [msgs_rev] is the round's deliveries in *reverse* delivery order;
+   consing onto each inbox restores delivery order. *)
+let deliver_msgs t msgs_rev =
   List.iter (fun d -> t.inboxes.(d) <- []) t.dirty;
   t.dirty <- [];
-  (* [staged] holds messages in reverse send order; consing onto each inbox
-     restores send order. *)
   List.iter
     (fun (m : Wire.msg) ->
       Metrics.note_recv t.metrics m;
@@ -152,8 +189,45 @@ let deliver t =
         t.audit;
       (match t.inboxes.(m.dst) with [] -> t.dirty <- m.dst :: t.dirty | _ -> ());
       t.inboxes.(m.dst) <- m :: t.inboxes.(m.dst))
-    t.staged;
+    msgs_rev;
   t.staged <- []
+
+(* Lock-step delivery: inbox order is send order ([staged] is already the
+   sends reversed). *)
+let deliver t = deliver_msgs t t.staged
+
+(* Async delivery: every message staged this round enters the event queue
+   at [vt + latency], latency drawn on its (src, dst) edge stream in send
+   order; the round barrier is the maximum delivery time, so the queue
+   drains completely before the next round activates (round semantics are
+   preserved — see sched.ml). What the knobs change: inboxes fill in
+   (delivery-time, send-seq) pop order rather than send order, and the
+   virtual clock jumps to the barrier. With all knobs zero the latency is
+   uniformly 1, pop order equals send order, and this path is
+   byte-identical to {!deliver}. *)
+let deliver_async t a =
+  let barrier = ref (a.a_vt + 1) in
+  List.iter
+    (fun (m : Wire.msg) ->
+      let lat =
+        Sched.draw_latency a.a_edges a.a_cfg ~src:m.Wire.src ~dst:m.Wire.dst
+          ~now:a.a_vt
+      in
+      let dv = a.a_vt + lat in
+      if dv > !barrier then barrier := dv;
+      Sched.note_delivery a.a_stats a.a_cfg ~send_vt:a.a_vt ~deliver_vt:dv;
+      a.a_seq <- a.a_seq + 1;
+      Sched.Heap.push a.a_heap ~time:dv ~seq:a.a_seq m)
+    (List.rev t.staged);
+  let rec drain acc =
+    match Sched.Heap.pop a.a_heap with
+    | None -> acc
+    | Some (_, _, m) -> drain (m :: acc)
+  in
+  (* [drain] accumulates by consing, so [acc] ends in reverse delivery
+     order — exactly what [deliver_msgs] expects. *)
+  deliver_msgs t (drain []);
+  a.a_vt <- !barrier
 
 (* Adversary turn, delivery and round close shared by every stepping mode. *)
 let finish_round t adversary =
@@ -162,7 +236,7 @@ let finish_round t adversary =
     ~finally:(fun () -> t.in_adv_step <- false)
     (fun () ->
       adversary.adv_step t ~round:t.round ~honest_staged:(staged_honest t));
-  deliver t;
+  (match t.async with Some a -> deliver_async t a | None -> deliver t);
   (* Receives of round r's sends are charged to round r, keeping per-round
      send/recv conservation; the auditor closes the round after delivery. *)
   Option.iter (fun a -> Repro_obs.Audit.end_round a ~round:t.round) t.audit;
@@ -224,44 +298,67 @@ let run_parties t ?adversary ?stop ~rounds parties =
     (fun (i, _) ->
       if i < 0 || i >= t.n then invalid_arg "Network.run_parties: party index")
     parties;
-  let parties = List.sort (fun (a, _) (b, _) -> compare a b) parties in
-  let stop = Option.value stop ~default:(fun ~round:_ -> false) in
-  let target = t.round + rounds in
-  let rec go () =
-    if t.round < target && not (stop ~round:t.round) then begin
-      step_parties t ?adversary parties;
-      go ()
-    end
-  in
-  go ()
+  match t.backend with
+  | Sched.Dense ->
+    (* The dense backend routes sparse callers through the full mailbox
+       scan: every slot is visited, unlisted parties are no-ops. The
+       transcript is identical by the run_parties contract; the execution
+       path is the genuinely dense one. *)
+    let handlers = Array.make t.n None in
+    List.iter (fun (i, h) -> handlers.(i) <- Some h) parties;
+    run t ?adversary ?stop ~rounds handlers
+  | Sched.Sparse | Sched.Async _ ->
+    let parties = List.sort (fun (a, _) (b, _) -> compare a b) parties in
+    let stop = Option.value stop ~default:(fun ~round:_ -> false) in
+    let target = t.round + rounds in
+    let rec go () =
+      if t.round < target && not (stop ~round:t.round) then begin
+        step_parties t ?adversary parties;
+        go ()
+      end
+    in
+    go ()
 
 let run_active t ?adversary ?stop ~rounds ~extra handler_of =
   let stop = Option.value stop ~default:(fun ~round:_ -> false) in
   let target = t.round + rounds in
-  let rec go () =
-    if t.round < target && not (stop ~round:t.round) then begin
-      Repro_obs.Trace.span ~cat:"net" "net.sparse_round" (fun () ->
-          (* Active set: parties with pending deliveries plus the protocol's
-             spontaneous actors for this round (e.g. initial broadcasters). *)
-          let active =
-            List.sort_uniq compare
-              (List.rev_append t.dirty (extra ~round:t.round))
-          in
-          Repro_obs.Counters.observe h_dirty (List.length t.dirty);
-          Repro_obs.Counters.observe h_active (List.length active);
-          let parties =
-            List.filter_map
-              (fun i ->
-                if i < 0 || i >= t.n then
-                  invalid_arg "Network.run_active: party index";
-                match handler_of i with Some h -> Some (i, h) | None -> None)
-              active
-          in
-          step_parties t ?adversary parties);
-      go ()
-    end
-  in
-  go ()
+  match t.backend with
+  | Sched.Dense ->
+    (* Dense: consult every party's handler every round (the active-set
+       optimization off). [handler_of] must be re-consulted per round —
+       lazily materialized parties appear as state arrives. *)
+    let rec go () =
+      if t.round < target && not (stop ~round:t.round) then begin
+        step t ?adversary (Array.init t.n handler_of);
+        go ()
+      end
+    in
+    go ()
+  | Sched.Sparse | Sched.Async _ ->
+    let rec go () =
+      if t.round < target && not (stop ~round:t.round) then begin
+        Repro_obs.Trace.span ~cat:"net" "net.sparse_round" (fun () ->
+            (* Active set: parties with pending deliveries plus the protocol's
+               spontaneous actors for this round (e.g. initial broadcasters). *)
+            let active =
+              List.sort_uniq compare
+                (List.rev_append t.dirty (extra ~round:t.round))
+            in
+            Repro_obs.Counters.observe h_dirty (List.length t.dirty);
+            Repro_obs.Counters.observe h_active (List.length active);
+            let parties =
+              List.filter_map
+                (fun i ->
+                  if i < 0 || i >= t.n then
+                    invalid_arg "Network.run_active: party index";
+                  match handler_of i with Some h -> Some (i, h) | None -> None)
+                active
+            in
+            step_parties t ?adversary parties);
+        go ()
+      end
+    in
+    go ()
 
 (* Drop undelivered messages and pending inboxes between protocol phases so
    a new sub-protocol starts from a clean slate while metrics accumulate. *)

@@ -1,6 +1,11 @@
-(** Synchronous point-to-point network with authenticated channels and a
-    rushing, static adversary. Messages sent in round r arrive at the start
-    of round r+1; honest-to-honest traffic cannot be dropped. *)
+(** Point-to-point network with authenticated channels and a rushing,
+    static adversary, executed under a pluggable {!Sched.backend}.
+    Messages sent in round r arrive at the start of round r+1;
+    honest-to-honest traffic cannot be dropped. On the async backend the
+    within-round delivery *order* and the virtual clock additionally
+    follow the seeded per-edge latency model (see {!Sched}); with all
+    chaos knobs at zero every backend produces a byte-identical
+    transcript. *)
 
 type t
 
@@ -17,7 +22,21 @@ type adversary = {
 
 val null_adversary : adversary
 
-val create : n:int -> corrupt:int list -> t
+val create : ?backend:Sched.backend -> n:int -> corrupt:int list -> unit -> t
+(** [backend] defaults to {!Sched.Sparse}, the active-set stepper every
+    caller got before backends were pluggable. *)
+
+val backend : t -> Sched.backend
+
+val virtual_time : t -> int
+(** The async executor's virtual clock (the round number on the lock-step
+    backends, where the two coincide). Sends are stamped with it in the
+    flight recorder; the per-round delivery barrier advances it. *)
+
+val async_stats : t -> Sched.stats option
+(** Delivery statistics of the async executor ([None] on the lock-step
+    backends): latency maxima, pre-GST retransmissions, and the sampled
+    (send, deliver) log the partial-synchrony checks run against. *)
 
 val attach_audit : t -> Repro_obs.Audit.t -> unit
 (** Attach an online per-party complexity auditor: every subsequent send,
@@ -51,12 +70,6 @@ val set_tap : t -> (round:int -> Wire.msg -> unit) option -> unit
     accepted send on this instance, in send order, with the staging round,
     before the metrics/audit/recorder accounting. Per-instance, so
     concurrent networks on the domain pool never observe each other. *)
-
-val set_transcript_tap : (round:int -> Wire.msg -> unit) option -> unit
-(** Compat shim: the historical process-global tap, consulted in addition
-    to {!set_tap}'s on every network. Single-network observers only (the
-    golden-transcript regression test digests the full message trace
-    through it); concurrent networks all feed it. *)
 
 val send : t -> src:int -> dst:int -> tag:string -> bytes -> unit
 (** Stage one message for delivery next round. Raises [Invalid_argument] if

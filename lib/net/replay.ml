@@ -59,6 +59,7 @@ let event_of_line ctx line =
           s_tag = get_str ctx j "tag";
           s_digest = digest;
           s_bits = get_int ctx j "bits";
+          s_vt = Option.bind (Json.member "vt" j) Json.to_int;
           s_payload = payload;
         }
     | Some "phase" ->
@@ -104,13 +105,16 @@ let events_of_jsonl doc =
             lines))
   with Failure e -> Error e
 
-let replay ~n ~corrupt events =
+let replay ?backend ~n ~corrupt events =
   let sends =
     List.filter_map
       (function Recorder.Send s -> Some s | _ -> None)
       events
   in
-  let net = Network.create ~n ~corrupt in
+  (* The fresh network must run the backend the log was recorded on: an
+     async log's virtual timestamps are a function of the seeded per-edge
+     latency schedule, which only reproduces under the same config. *)
+  let net = Network.create ?backend ~n ~corrupt () in
   let re = Recorder.create ~keep_payloads:true () in
   Network.attach_recorder net re;
   try
@@ -163,6 +167,7 @@ let check ~original ~replayed =
           && o.s_tag = r.s_tag
           && Int64.equal o.s_digest r.s_digest
           && o.s_bits = r.s_bits
+          && (o.s_vt = None || o.s_vt = r.s_vt)
           && (o.s_payload = None || o.s_payload = r.s_payload)
         then go (i + 1) os' rs'
         else
@@ -179,7 +184,7 @@ let check ~original ~replayed =
     in
     go 0 orig re
 
-let self_check ~n ~corrupt events =
-  match replay ~n ~corrupt events with
+let self_check ?backend ~n ~corrupt events =
+  match replay ?backend ~n ~corrupt events with
   | Error e -> Error ("replay: " ^ e)
   | Ok re -> check ~original:events ~replayed:re

@@ -1,0 +1,248 @@
+(* Scheduler backends for the simulated network.
+
+   The network executes protocols under one of three interchangeable
+   scheduling disciplines:
+
+   - [Dense]: the original lock-step stepper — every party's handler slot
+     is visited every round, messages sent in round r are delivered at the
+     start of round r+1 in send order.
+   - [Sparse]: the active-set stepper — only parties holding a pending
+     delivery (plus the protocol's spontaneous actors) are visited, with a
+     transcript byte-identical to [Dense].
+   - [Async cfg]: a deterministic asynchronous executor — every send is an
+     event on a priority queue keyed by virtual delivery time, with
+     per-edge latency/jitter/loss drawn from seeded SplitMix streams and a
+     GST knob for partial synchrony (delivery within 1 + delta once the
+     virtual clock passes [a_gst]).
+
+   Determinism is the load-bearing property: the async executor draws all
+   timing from per-edge child streams of one seed, so identical
+   (protocol, n, seed, cfg) inputs produce identical transcripts on any
+   domain-pool size — which is what lets cross-backend conformance and
+   transcript replay stay byte-exact checks rather than statistical ones.
+
+   The async executor is a *round synchronizer*: the per-round delivery
+   barrier is the maximum delivery time of that round's sends, so every
+   message staged in round r is popped from the queue before round r+1
+   activates. Round-based protocols therefore keep their round semantics
+   under any latency/jitter/loss knobs; what the knobs change is the
+   delivery *order* within the round (inboxes are filled in
+   (delivery-time, send-seq) order), the virtual-clock trajectory, and the
+   latency statistics the partial-synchrony checks run against. With all
+   knobs zero the latency is exactly 1 with no stream draws, delivery
+   order degenerates to send order, and the transcript is byte-identical
+   to the lock-step backends — pinned by the golden conformance suite. *)
+
+module Rng = Repro_util.Rng
+
+type async_cfg = {
+  a_seed : int; (* master seed of the per-edge latency streams *)
+  a_delta : int; (* post-GST bound: delivered within 1 + a_delta *)
+  a_jitter : int; (* max extra latency drawn per message *)
+  a_loss : float; (* pre-GST per-message loss (= retransmission) rate *)
+  a_gst : int; (* global stabilization time, in virtual time units *)
+}
+
+let default_async =
+  { a_seed = 0; a_delta = 0; a_jitter = 0; a_loss = 0.0; a_gst = 0 }
+
+type backend = Dense | Sparse | Async of async_cfg
+
+let backend_name = function
+  | Dense -> "dense"
+  | Sparse -> "sparse"
+  | Async _ -> "async"
+
+let backend_of_string ?(async = default_async) = function
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | "async" -> Some (Async async)
+  | _ -> None
+
+(* [pure_sync cfg] holds when the async executor is configured as exact
+   synchrony: every latency is 1 and no stream is ever drawn, so the
+   executor must reproduce the lock-step transcript byte-for-byte. *)
+let pure_sync cfg = cfg.a_delta <= 0 && cfg.a_jitter <= 0 && cfg.a_loss <= 0.0
+
+(* --- event queue ---
+
+   Binary min-heap over (delivery time, send sequence number): pops come
+   out in delivery order, ties broken by send order, so the drain order is
+   a total deterministic function of the pushed set. *)
+
+module Heap = struct
+  type 'a t = {
+    mutable times : int array;
+    mutable seqs : int array;
+    mutable vals : 'a option array;
+    mutable size : int;
+  }
+
+  let create () =
+    { times = Array.make 64 0; seqs = Array.make 64 0; vals = Array.make 64 None; size = 0 }
+
+  let size h = h.size
+
+  let lt h i j =
+    h.times.(i) < h.times.(j)
+    || (h.times.(i) = h.times.(j) && h.seqs.(i) < h.seqs.(j))
+
+  let swap h i j =
+    let t = h.times.(i) in
+    h.times.(i) <- h.times.(j);
+    h.times.(j) <- t;
+    let s = h.seqs.(i) in
+    h.seqs.(i) <- h.seqs.(j);
+    h.seqs.(j) <- s;
+    let v = h.vals.(i) in
+    h.vals.(i) <- h.vals.(j);
+    h.vals.(j) <- v
+
+  let grow h =
+    let cap = Array.length h.times in
+    h.times <- Array.append h.times (Array.make cap 0);
+    h.seqs <- Array.append h.seqs (Array.make cap 0);
+    h.vals <- Array.append h.vals (Array.make cap None)
+
+  let push h ~time ~seq v =
+    if h.size = Array.length h.times then grow h;
+    let i = ref h.size in
+    h.times.(!i) <- time;
+    h.seqs.(!i) <- seq;
+    h.vals.(!i) <- Some v;
+    h.size <- h.size + 1;
+    while !i > 0 && lt h !i ((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let time = h.times.(0) and seq = h.seqs.(0) and v = h.vals.(0) in
+      h.size <- h.size - 1;
+      h.times.(0) <- h.times.(h.size);
+      h.seqs.(0) <- h.seqs.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      h.vals.(h.size) <- None;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.size && lt h l !m then m := l;
+        if r < h.size && lt h r !m then m := r;
+        if !m <> !i then begin
+          swap h !i !m;
+          i := !m
+        end
+        else continue := false
+      done;
+      match v with
+      | Some v -> Some (time, seq, v)
+      | None -> assert false
+    end
+end
+
+(* --- per-edge latency streams ---
+
+   One SplitMix child stream per directed edge, derived by label from the
+   master seed. [Rng.of_label] never advances the parent, so the stream a
+   given edge sees is independent of edge creation order; the table only
+   memoizes the children. Draws on one edge happen in message send order
+   (the executor walks the staged list in send order), which makes the
+   whole timing schedule a deterministic function of (seed, transcript). *)
+
+type edges = { e_master : Rng.t; e_streams : (int * int, Rng.t) Hashtbl.t }
+
+let edges_create ~seed =
+  { e_master = Rng.create seed; e_streams = Hashtbl.create 97 }
+
+let edge_stream e ~src ~dst =
+  match Hashtbl.find_opt e.e_streams (src, dst) with
+  | Some r -> r
+  | None ->
+    let r = Rng.of_label e.e_master (Printf.sprintf "edge-%d-%d" src dst) in
+    Hashtbl.add e.e_streams (src, dst) r;
+    r
+
+(* Latency of one message staged at virtual time [now].
+
+   Exact synchrony (all knobs zero) short-circuits to 1 with no draws.
+   Otherwise both the jitter and the loss coin are drawn in a fixed order
+   on the edge's stream for every message — branches consume identically,
+   so schedules with different GST settings stay stream-aligned — and:
+
+   - post-GST ([now >= a_gst]): delivery within the partial-synchrony
+     bound, latency = 1 + min jitter delta <= 1 + delta; loss is drawn but
+     ignored (after GST the network is reliable).
+   - pre-GST, lost: the message is retransmitted after one timeout of the
+     post-GST bound: latency = 1 + jitter + 1 + delta. Loss delays, it
+     never drops — honest-to-honest channels stay reliable, as the model
+     requires.
+   - pre-GST, not lost: latency = 1 + jitter, unbounded by delta. *)
+let draw_latency edges cfg ~src ~dst ~now =
+  if pure_sync cfg then 1
+  else begin
+    let rng = edge_stream edges ~src ~dst in
+    let j = if cfg.a_jitter > 0 then Rng.int rng (cfg.a_jitter + 1) else 0 in
+    let lost = cfg.a_loss > 0.0 && Rng.float rng < cfg.a_loss in
+    if now >= cfg.a_gst then 1 + min j (max 0 cfg.a_delta)
+    else if lost then 1 + j + 1 + max 0 cfg.a_delta
+    else 1 + j
+  end
+
+(* --- delivery statistics ---
+
+   Online accounting the partial-synchrony checks run against: every
+   delivery bumps the counters; a bounded sample log keeps (send, deliver)
+   virtual-time pairs for property checks without unbounded growth. All of
+   it is a deterministic function of the schedule. *)
+
+type delivery = { dl_send_vt : int; dl_deliver_vt : int }
+
+type stats = {
+  mutable st_sends : int;
+  mutable st_max_latency : int;
+  mutable st_pre_gst_lost : int; (* messages that took the retransmit path *)
+  mutable st_post_gst_late : int; (* post-GST sends beyond 1 + delta: must be 0 *)
+  mutable st_log : delivery list; (* newest first, bounded *)
+  mutable st_log_len : int;
+  st_log_cap : int;
+}
+
+let stats_create ?(log_cap = 65536) () =
+  {
+    st_sends = 0;
+    st_max_latency = 0;
+    st_pre_gst_lost = 0;
+    st_post_gst_late = 0;
+    st_log = [];
+    st_log_len = 0;
+    st_log_cap = log_cap;
+  }
+
+let note_delivery st cfg ~send_vt ~deliver_vt =
+  let lat = deliver_vt - send_vt in
+  st.st_sends <- st.st_sends + 1;
+  if lat > st.st_max_latency then st.st_max_latency <- lat;
+  if send_vt < cfg.a_gst && lat > 1 + cfg.a_jitter then
+    st.st_pre_gst_lost <- st.st_pre_gst_lost + 1;
+  if send_vt >= cfg.a_gst && lat > 1 + max 0 cfg.a_delta then
+    st.st_post_gst_late <- st.st_post_gst_late + 1;
+  if st.st_log_len < st.st_log_cap then begin
+    st.st_log <- { dl_send_vt = send_vt; dl_deliver_vt = deliver_vt } :: st.st_log;
+    st.st_log_len <- st.st_log_len + 1
+  end
+
+let deliveries st = List.rev st.st_log
+
+(* The partial-synchrony contract as a pure predicate: every sampled
+   message sent at or after GST was delivered within 1 + delta. The
+   executor maintains this by construction ([st_post_gst_late] stays 0);
+   the predicate exists so tests can also check it with teeth — a planted
+   late delivery must make it false. *)
+let post_gst_ok ~gst ~delta log =
+  List.for_all
+    (fun d -> d.dl_send_vt < gst || d.dl_deliver_vt - d.dl_send_vt <= 1 + max 0 delta)
+    log

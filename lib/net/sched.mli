@@ -1,0 +1,88 @@
+(** Scheduler backends for the simulated network: the lock-step dense and
+    sparse active-set steppers, plus a deterministic asynchronous executor
+    with per-edge latency/jitter/loss streams and a GST knob for partial
+    synchrony.
+
+    Backend choice changes {e how} a protocol executes, never {e what} it
+    may observe beyond the model: with all async knobs at zero the three
+    backends produce byte-identical transcripts (pinned by the golden
+    conformance suite), and with chaos knobs on the async executor stays a
+    deterministic function of (protocol, n, seed, cfg) on any domain-pool
+    size. *)
+
+type async_cfg = {
+  a_seed : int;  (** master seed of the per-edge latency streams *)
+  a_delta : int;
+      (** post-GST delivery bound: every message sent at virtual time
+          [>= a_gst] is delivered within [1 + a_delta] *)
+  a_jitter : int;  (** max extra latency drawn per message *)
+  a_loss : float;
+      (** pre-GST per-message loss rate; a lost message is retransmitted
+          after one timeout (latency [1 + jitter + 1 + delta]), never
+          dropped — honest channels stay reliable *)
+  a_gst : int;  (** global stabilization time, in virtual time units *)
+}
+
+val default_async : async_cfg
+(** All knobs zero: exact synchrony (latency 1, no stream draws). *)
+
+type backend = Dense | Sparse | Async of async_cfg
+
+val backend_name : backend -> string
+val backend_of_string : ?async:async_cfg -> string -> backend option
+(** ["dense"], ["sparse"], or ["async"] (with [async] as its config). *)
+
+val pure_sync : async_cfg -> bool
+(** Whether this config is exact synchrony — every latency is 1, no
+    stream is drawn, and the async transcript must be byte-identical to
+    the lock-step backends. *)
+
+(** Deterministic binary min-heap keyed by (delivery time, send sequence):
+    pops come out in delivery order, ties broken by send order. *)
+module Heap : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val size : 'a t -> int
+  val push : 'a t -> time:int -> seq:int -> 'a -> unit
+  val pop : 'a t -> (int * int * 'a) option
+end
+
+type edges
+(** Per-directed-edge SplitMix latency streams, children of one master
+    seed keyed by ["edge-<src>-<dst>"]; stream contents are independent of
+    edge creation order. *)
+
+val edges_create : seed:int -> edges
+
+val draw_latency : edges -> async_cfg -> src:int -> dst:int -> now:int -> int
+(** Latency of one message staged at virtual time [now], drawn on the
+    (src, dst) edge stream. Exact synchrony short-circuits to 1 with no
+    draws; otherwise jitter and the loss coin are consumed in fixed order
+    for every message, and the result is [1 + min jitter delta] post-GST,
+    [1 + jitter (+ 1 + delta if lost)] pre-GST. *)
+
+type delivery = { dl_send_vt : int; dl_deliver_vt : int }
+
+type stats = {
+  mutable st_sends : int;
+  mutable st_max_latency : int;
+  mutable st_pre_gst_lost : int;
+      (** messages that took the pre-GST retransmit path *)
+  mutable st_post_gst_late : int;
+      (** post-GST sends delivered beyond [1 + delta] — 0 by construction *)
+  mutable st_log : delivery list;  (** newest first, bounded *)
+  mutable st_log_len : int;
+  st_log_cap : int;
+}
+
+val stats_create : ?log_cap:int -> unit -> stats
+val note_delivery : stats -> async_cfg -> send_vt:int -> deliver_vt:int -> unit
+
+val deliveries : stats -> delivery list
+(** The sampled (send, deliver) pairs in delivery order (oldest first). *)
+
+val post_gst_ok : gst:int -> delta:int -> delivery list -> bool
+(** The partial-synchrony contract as a pure predicate: every sampled
+    message sent at or after [gst] was delivered within [1 + delta].
+    Tests check it with teeth — a planted late delivery makes it false. *)

@@ -18,6 +18,7 @@ type send_ev = {
   s_tag : string;
   s_digest : int64;
   s_bits : int;
+  s_vt : int option; (* virtual staging time; async-backend networks only *)
   s_payload : string option;
 }
 
@@ -109,15 +110,20 @@ let hex_of_string s =
 
 let event_jsonl = function
   | Send s ->
+    let vt =
+      match s.s_vt with
+      | None -> ""
+      | Some v -> Printf.sprintf ",\"vt\":%d" v
+    in
     let payload =
       match s.s_payload with
       | None -> ""
       | Some p -> Printf.sprintf ",\"payload\":\"%s\"" (hex_of_string p)
     in
     Printf.sprintf
-      "{\"e\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d,\"tag\":\"%s\",\"bits\":%d,\"digest\":\"%s\"%s}"
+      "{\"e\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d,\"tag\":\"%s\",\"bits\":%d,\"digest\":\"%s\"%s%s}"
       s.s_round s.s_src s.s_dst (json_escape s.s_tag) s.s_bits
-      (hex_of_digest s.s_digest) payload
+      (hex_of_digest s.s_digest) vt payload
   | Phase p ->
     Printf.sprintf "{\"e\":\"phase\",\"round\":%d,\"name\":\"%s\"}" p.p_round
       (json_escape p.p_name)
@@ -196,7 +202,7 @@ let close t =
 
 (* --- feeding --- *)
 
-let note_send t ~round ~src ~dst ~tag ~bits ~payload =
+let note_send t ?vt ~round ~src ~dst ~tag ~bits ~payload () =
   push t
     (Send
        {
@@ -206,6 +212,7 @@ let note_send t ~round ~src ~dst ~tag ~bits ~payload =
          s_tag = tag;
          s_digest = digest_of_payload payload;
          s_bits = bits;
+         s_vt = vt;
          s_payload = (if t.kp then Some (Bytes.to_string payload) else None);
        })
 

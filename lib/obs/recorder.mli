@@ -24,6 +24,9 @@ type send_ev = {
   s_tag : string;
   s_digest : int64;  (** FNV-1a 64 of the payload bytes *)
   s_bits : int;  (** 8 * wire size: the bits the meter/auditor charged *)
+  s_vt : int option;
+      (** virtual staging time, stamped by async-backend networks; absent
+          on the lock-step backends (their clock is the round number) *)
   s_payload : string option;  (** raw payload, kept only with [keep_payloads] *)
 }
 
@@ -63,8 +66,8 @@ val keep_payloads : t -> bool
 (** {2 Feeding it (the network and protocol layers call these)} *)
 
 val note_send :
-  t -> round:int -> src:int -> dst:int -> tag:string -> bits:int ->
-  payload:bytes -> unit
+  t -> ?vt:int -> round:int -> src:int -> dst:int -> tag:string -> bits:int ->
+  payload:bytes -> unit -> unit
 
 val note_phase : t -> round:int -> string -> unit
 val note_committee : t -> round:int -> level:int -> idx:int -> members:int list -> unit

@@ -20,7 +20,7 @@ module Parallel = Repro_util.Parallel
    in delivery order, as (round, src, dst, tag, payload). *)
 let transcript ?(n = 8) ?(corrupt = [ 0; 1 ]) ?(rounds = 3) ~adversary
     honest_send =
-  let net = Network.create ~n ~corrupt in
+  let net = Network.create ~n ~corrupt () in
   let log = ref [] in
   let handler p ~round ~inbox =
     List.iter

@@ -137,7 +137,7 @@ let test_make_custom_tree () =
 let test_election_agreement_no_adversary () =
   let n = 100 in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:[] in
+  let net = Network.create ~n ~corrupt:[] () in
   let res = Election.run net params ~rng:(Repro_util.Rng.create 42) in
   (* every party adopted the reference seed *)
   Array.iteri
@@ -153,7 +153,7 @@ let test_election_with_silent_corrupt () =
   let rng = Repro_util.Rng.create 43 in
   let corrupt_set = random_corrupt rng ~n ~count:20 in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:corrupt_set in
+  let net = Network.create ~n ~corrupt:corrupt_set () in
   let res = Election.run net params ~rng in
   (* honest parties still agree on the reference seed *)
   let ok = ref 0 and total = ref 0 in
@@ -172,7 +172,7 @@ let test_election_communication_polylog () =
   (* Per-party bytes should grow far slower than n. *)
   let run n =
     let params = Params.default n in
-    let net = Network.create ~n ~corrupt:[] in
+    let net = Network.create ~n ~corrupt:[] () in
     ignore (Election.run net params ~rng:(Repro_util.Rng.create 1));
     let r = Repro_net.Metrics.report (Network.metrics net) in
     r.Repro_net.Metrics.max_bytes
@@ -189,7 +189,7 @@ let test_election_communication_polylog () =
 let test_aecomm_dissemination_honest () =
   let n = 150 in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:[] in
+  let net = Network.create ~n ~corrupt:[] () in
   let ae = Ae_comm.establish net params ~rng:(Repro_util.Rng.create 3) in
   let value = Bytes.of_string "agreed-value" in
   let supreme = Tree.supreme_committee (Ae_comm.tree ae) in
@@ -207,7 +207,7 @@ let test_aecomm_dissemination_with_corruption () =
   let rng = Repro_util.Rng.create 4 in
   let corrupt_set = random_corrupt rng ~n ~count:(n / 8) in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:corrupt_set in
+  let net = Network.create ~n ~corrupt:corrupt_set () in
   let ae = Ae_comm.establish net params ~rng in
   let tree = Ae_comm.tree ae in
   let corrupt = corrupt_pred corrupt_set in
@@ -235,7 +235,7 @@ let test_aecomm_dissemination_with_corruption () =
 let test_aecomm_isolated_definition () =
   let n = 100 in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:[] in
+  let net = Network.create ~n ~corrupt:[] () in
   let ae = Ae_comm.establish net params ~rng:(Repro_util.Rng.create 5) in
   Alcotest.(check bool) "nobody isolated without corruption" true
     (List.for_all
@@ -262,7 +262,7 @@ let test_election_with_garbage_adversary () =
   let n = 100 in
   let corrupt_set = [ 3; 17; 44; 71; 90 ] in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:corrupt_set in
+  let net = Network.create ~n ~corrupt:corrupt_set () in
   let adversary =
     let arng = Repro_util.Rng.create 77 in
     {
@@ -299,7 +299,7 @@ let test_aecomm_equivocating_supreme () =
      value; connected honest parties must adopt the honest majority's value *)
   let n = 150 in
   let params = Params.default n in
-  let net = Network.create ~n ~corrupt:[] in
+  let net = Network.create ~n ~corrupt:[] () in
   let ae = Ae_comm.establish net params ~rng:(Repro_util.Rng.create 41) in
   let tree = Ae_comm.tree ae in
   let supreme = Array.to_list (Tree.supreme_committee tree) in

@@ -10,7 +10,7 @@ open Repro_consensus
 (* Run one protocol instance among [members] over a fresh network.
    [make p] builds party p's machine; [extract p] reads its output. *)
 let run_committee ~n ~corrupt ~rounds ~adversary ~make =
-  let net = Network.create ~n ~corrupt in
+  let net = Network.create ~n ~corrupt () in
   let machines p =
     if List.mem p corrupt then [] else [ ("i", make net p) ]
   in

@@ -82,7 +82,7 @@ let expected_sends script =
 (* Drive the script through a fresh network with an auditor and a recorder
    both attached; [sparse] picks the delivery-driven stepper. *)
 let drive ~sparse script =
-  let net = Network.create ~n:script.sc_n ~corrupt:[] in
+  let net = Network.create ~n:script.sc_n ~corrupt:[] () in
   let audit =
     Audit.create ~label:"forensics-qcheck" ~n:script.sc_n
       ~budgets:Audit.no_budgets ()

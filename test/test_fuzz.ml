@@ -80,7 +80,7 @@ let test_coin_distribution () =
           Repro_consensus.Coin_toss.create ~members ~me
             ~rng:(Rng.of_label rng (string_of_int me)))
     in
-    let net = Repro_net.Network.create ~n ~corrupt:[] in
+    let net = Repro_net.Network.create ~n ~corrupt:[] () in
     Repro_net.Engine.run net ~tag:"coin" ~rounds:(Repro_consensus.Coin_toss.rounds ~members)
       ~machines:(fun p -> [ ("c", Repro_consensus.Coin_toss.machine states.(p)) ])
       ();

@@ -2,69 +2,95 @@
 
    One (seed, n, beta) cell of the full Fig. 3 pipeline is executed for each
    SRDS scheme and the complete message trace — every send of every network
-   round, in send order, including tags and payload bytes — is hashed through
-   {!Repro_net.Network.set_transcript_tap}. The digests below were recorded
-   from the dense (pre-sparse-engine) execution path; the sparse active-set
-   engine must reproduce them byte-for-byte. Any drift in scheduling order,
-   message content, RNG consumption, or round structure changes the digest.
+   round, in send order, including tags and payload bytes — is hashed
+   through the per-instance transcript tap ({!Repro_core.Runner.run_digest}).
+   The digests below were recorded from the dense (pre-sparse-engine)
+   execution path; every scheduler backend — the sparse active-set engine
+   and the async executor at zero chaos knobs alike — must reproduce them
+   byte-for-byte. Any drift in scheduling order, message content, RNG
+   consumption, or round structure changes the digest.
 
    If a deliberate protocol change invalidates a digest, re-record it by
    running the test and copying the printed actual value — and say so in the
    commit message; an unexplained mismatch is a determinism regression. *)
 
-module Network = Repro_net.Network
-module Sha256 = Repro_crypto.Sha256
+module Sched = Repro_net.Sched
 module Runner = Repro_core.Runner
 
 let cell_n = 40
 let cell_beta = 0.1
 let cell_seed = 1
 
-(* Recorded on the dense mailbox-scan engine; the sparse engine must match. *)
+(* Recorded on the dense mailbox-scan engine; every backend must match. *)
 let golden_owf = "03628b1b31b70ef318c4f2e35603afb09c5827bb1cbcf64753ee0a6d68267ce5"
 let golden_snark = "f8b5b2b4349d0844c7c8aa2b4f03542a09724d3018f658e8d92dc9db92f2b670"
 
-let transcript_digest ~protocol =
-  let ctx = Sha256.init () in
-  let feed_bytes b = Sha256.feed ctx b 0 (Bytes.length b) in
-  let feed_str s = feed_bytes (Bytes.unsafe_of_string s) in
-  Network.set_transcript_tap
-    (Some
-       (fun ~round (m : Repro_net.Wire.msg) ->
-         feed_str (Printf.sprintf "%d|%d|%d|%s|" round m.src m.dst m.tag);
-         feed_bytes m.payload;
-         feed_str "\n"));
-  Fun.protect
-    ~finally:(fun () -> Network.set_transcript_tap None)
-    (fun () ->
-      let row = Runner.run ~protocol ~n:cell_n ~beta:cell_beta ~seed:cell_seed in
-      Alcotest.(check bool)
-        (Runner.protocol_name protocol ^ " cell reached agreement")
-        true row.Runner.r_ok);
-  Sha256.hex (Sha256.finish ctx)
+let transcript_digest ?backend ~protocol () =
+  let row, digest =
+    Runner.run_digest ?backend ~protocol ~n:cell_n ~beta:cell_beta
+      ~seed:cell_seed ()
+  in
+  Alcotest.(check bool)
+    (Runner.protocol_name protocol ^ " cell reached agreement")
+    true row.Runner.r_ok;
+  digest
 
 let check_digest name protocol golden () =
-  let actual = transcript_digest ~protocol in
-  if actual <> golden then
-    Alcotest.failf
-      "%s transcript digest drifted from the dense-path recording\n\
-      \  pinned:  %s\n\
-      \  actual:  %s\n\
-       (message order, content, or RNG consumption changed)"
-      name golden actual
+  List.iter
+    (fun backend ->
+      let actual = transcript_digest ~backend ~protocol () in
+      if actual <> golden then
+        Alcotest.failf
+          "%s transcript digest on the %s backend drifted from the \
+           dense-path recording\n\
+          \  pinned:  %s\n\
+          \  actual:  %s\n\
+           (message order, content, or RNG consumption changed)"
+          name
+          (Sched.backend_name backend)
+          golden actual)
+    (Runner.conform_backends ~seed:cell_seed)
 
 (* The digest must also be insensitive to the domain-pool size: rerunning
    the same cell twice in-process (caches warm vs cold) must match too. *)
 let test_rerun_stable () =
-  let a = transcript_digest ~protocol:Runner.This_work_owf in
-  let b = transcript_digest ~protocol:Runner.This_work_owf in
+  let a = transcript_digest ~protocol:Runner.This_work_owf () in
+  let b = transcript_digest ~protocol:Runner.This_work_owf () in
   Alcotest.(check string) "same in-process rerun digest" a b
+
+(* Cross-backend conformance rows: at larger n the three backends exercise
+   genuinely different execution machinery (dense mailbox scan, sparse
+   active sets, the event-queue executor), yet the digest — and the full
+   measured row behind it — must stay a function of (protocol, n, beta,
+   seed) only. Equality is asserted across backends rather than against a
+   pinned hex so the rows stay robust to deliberate protocol changes. *)
+let check_conform protocol n () =
+  let c =
+    Runner.conformance_cell ~protocol ~n ~beta:cell_beta ~seed:cell_seed
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s n=%d rows ok on all backends" c.Runner.cf_protocol n)
+    true c.Runner.cf_rows_ok;
+  if not c.Runner.cf_match then
+    Alcotest.failf "%s n=%d backends disagree:\n%s" c.Runner.cf_protocol n
+      (String.concat "\n"
+         (List.map
+            (fun (b, d) -> Printf.sprintf "  %-6s %s" b d)
+            c.Runner.cf_digests))
 
 let suite =
   [
-    Alcotest.test_case "owf transcript digest pinned" `Quick
+    Alcotest.test_case "owf transcript digest pinned (all backends)" `Quick
       (check_digest "this-work-owf" Runner.This_work_owf golden_owf);
-    Alcotest.test_case "snark transcript digest pinned" `Quick
+    Alcotest.test_case "snark transcript digest pinned (all backends)" `Quick
       (check_digest "this-work-snark" Runner.This_work_snark golden_snark);
     Alcotest.test_case "owf transcript rerun-stable" `Quick test_rerun_stable;
+    Alcotest.test_case "owf n=64 cross-backend conformance" `Quick
+      (check_conform Runner.This_work_owf 64);
+    Alcotest.test_case "snark n=64 cross-backend conformance" `Quick
+      (check_conform Runner.This_work_snark 64);
+    Alcotest.test_case "owf n=256 cross-backend conformance" `Quick
+      (check_conform Runner.This_work_owf 256);
+    Alcotest.test_case "snark n=256 cross-backend conformance" `Quick
+      (check_conform Runner.This_work_snark 256);
   ]

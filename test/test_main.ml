@@ -6,6 +6,7 @@ let () =
       ("signatures", Test_signatures.suite);
       ("snark", Test_snark.suite);
       ("net", Test_net.suite);
+      ("sched", Test_sched.suite);
       ("golden", Test_golden.suite);
       ("obs", Test_obs.suite);
       ("aetree", Test_aetree.suite);

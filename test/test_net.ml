@@ -7,7 +7,7 @@ module Engine = Repro_net.Engine
 module Wire = Repro_net.Wire
 
 let test_delivery_next_round () =
-  let net = Network.create ~n:3 ~corrupt:[] in
+  let net = Network.create ~n:3 ~corrupt:[] () in
   let got = Array.make 3 [] in
   let handler p ~round ~inbox =
     got.(p) <- got.(p) @ List.map (fun (m : Wire.msg) -> (round, m.src, Bytes.to_string m.payload)) inbox;
@@ -20,7 +20,7 @@ let test_delivery_next_round () =
   Alcotest.(check (list (triple int int string))) "nothing to 2" [] got.(2)
 
 let test_metrics_accounting () =
-  let net = Network.create ~n:4 ~corrupt:[] in
+  let net = Network.create ~n:4 ~corrupt:[] () in
   let handler p ~round ~inbox =
     ignore inbox;
     if round = 0 && p = 0 then begin
@@ -38,7 +38,7 @@ let test_metrics_accounting () =
   Alcotest.(check int) "rounds" 2 (Metrics.rounds m)
 
 let test_report_excludes_corrupt () =
-  let net = Network.create ~n:3 ~corrupt:[ 2 ] in
+  let net = Network.create ~n:3 ~corrupt:[ 2 ] () in
   let handler p ~round ~inbox =
     ignore inbox;
     if round = 0 && p = 0 then Network.send net ~src:0 ~dst:1 ~tag:"t" (Bytes.make 5 'x')
@@ -48,7 +48,7 @@ let test_report_excludes_corrupt () =
   Alcotest.(check int) "max bytes" 10 r.Metrics.max_bytes
 
 let test_rushing_adversary_sees_staged () =
-  let net = Network.create ~n:3 ~corrupt:[ 2 ] in
+  let net = Network.create ~n:3 ~corrupt:[ 2 ] () in
   let seen = ref [] in
   let adversary =
     {
@@ -81,7 +81,7 @@ let test_rushing_adversary_sees_staged () =
 let test_adversary_cannot_impersonate () =
   (* Channels are authenticated: during the adversary's turn, a send with
      an honest src must be rejected; corrupt srcs still go through. *)
-  let net = Network.create ~n:4 ~corrupt:[ 3 ] in
+  let net = Network.create ~n:4 ~corrupt:[ 3 ] () in
   let adversary =
     {
       Network.adv_name = "imposter";
@@ -117,7 +117,7 @@ let test_adversary_cannot_impersonate () =
     (Array.init 4 (fun p -> if p = 3 then None else Some (handler2 p)))
 
 let test_flush_drops_in_flight () =
-  let net = Network.create ~n:2 ~corrupt:[] in
+  let net = Network.create ~n:2 ~corrupt:[] () in
   let received = ref 0 in
   let handler p ~round ~inbox =
     received := !received + List.length inbox;
@@ -132,7 +132,7 @@ let test_flush_drops_in_flight () =
 (* --- Engine: a 2-round ping/pong across two instances --- *)
 
 let test_engine_multiplexing () =
-  let net = Network.create ~n:4 ~corrupt:[] in
+  let net = Network.create ~n:4 ~corrupt:[] () in
   let log = ref [] in
   (* instance "a": 0 <-> 1; instance "b": 2 <-> 3. Same tag namespace. *)
   let mk_machine me peer inst =
@@ -175,7 +175,7 @@ let test_engine_multiplexing () =
 let test_engine_instance_isolation () =
   (* A message for instance "a" must never reach machine "b" even on the
      same party. *)
-  let net = Network.create ~n:2 ~corrupt:[] in
+  let net = Network.create ~n:2 ~corrupt:[] () in
   let b_got = ref 0 in
   let machines p =
     match p with
@@ -204,7 +204,7 @@ let test_engine_instance_isolation () =
 
 let test_engine_rounds_observed () =
   (* m_recv must be called once per completed round even with no traffic. *)
-  let net = Network.create ~n:1 ~corrupt:[] in
+  let net = Network.create ~n:1 ~corrupt:[] () in
   let rounds_seen = ref [] in
   let machines _ =
     [
@@ -234,7 +234,7 @@ let test_tag_grouping () =
     ]
 
 let test_tag_breakdown_accumulates () =
-  let net = Network.create ~n:2 ~corrupt:[] in
+  let net = Network.create ~n:2 ~corrupt:[] () in
   let handler p ~round ~inbox =
     ignore inbox;
     if round = 0 && p = 0 then begin
@@ -259,7 +259,7 @@ let test_tag_breakdown_accumulates () =
 let test_report_empty_selection () =
   (* Selecting no parties (e.g. everyone corrupt) must yield zeros, never
      NaN, while the network-wide figures survive. *)
-  let net = Network.create ~n:3 ~corrupt:[] in
+  let net = Network.create ~n:3 ~corrupt:[] () in
   let handler p ~round ~inbox =
     ignore inbox;
     if round = 0 && p = 0 then
@@ -275,7 +275,7 @@ let test_report_empty_selection () =
 
 let test_report_json_keys_stable () =
   (* External tooling keys off these field names; lock them down. *)
-  let net = Network.create ~n:2 ~corrupt:[] in
+  let net = Network.create ~n:2 ~corrupt:[] () in
   Network.run net ~rounds:1 (Array.init 2 (fun _ -> Some (fun ~round:_ ~inbox:_ -> ())));
   let json = Metrics.report_to_json (Metrics.report (Network.metrics net)) in
   List.iter
@@ -301,7 +301,7 @@ let test_breakdown_json_sorted () =
   Alcotest.(check string) "empty breakdown" "{}" (Metrics.breakdown_to_json [])
 
 let test_msgs_recv_counted () =
-  let net = Network.create ~n:2 ~corrupt:[] in
+  let net = Network.create ~n:2 ~corrupt:[] () in
   let handler p ~round ~inbox =
     ignore inbox;
     if round = 0 && p = 0 then begin

@@ -281,7 +281,7 @@ let test_counters_pool_independent () =
 let test_ba_emits_phase_spans () =
   Trace.set_enabled true;
   Trace.reset ();
-  let row = Runner.run ~protocol:Runner.This_work_owf ~n:64 ~beta:0.08 ~seed:3 in
+  let row = Runner.run ~protocol:Runner.This_work_owf ~n:64 ~beta:0.08 ~seed:3 () in
   Alcotest.(check bool) "ba succeeded" true row.Runner.r_ok;
   let names = List.map (fun e -> e.Trace.e_name) (Trace.events ()) in
   let has prefix =
@@ -410,7 +410,7 @@ let test_audit_corrupt_masked () =
 let test_audit_budget_pass () =
   List.iter
     (fun proto ->
-      let row, a = Runner.run_audited ~protocol:proto ~n:64 ~beta:0.1 ~seed:1 in
+      let row, a = Runner.run_audited ~protocol:proto ~n:64 ~beta:0.1 ~seed:1 () in
       Alcotest.(check bool) (row.Runner.r_protocol ^ " agreement") true
         row.Runner.r_ok;
       Alcotest.(check int) (row.Runner.r_protocol ^ " within budget") 0
@@ -419,7 +419,7 @@ let test_audit_budget_pass () =
 
 let test_audit_budget_fail () =
   let _row, a =
-    Runner.run_audited ~protocol:Runner.Naive_boost ~n:64 ~beta:0.1 ~seed:1
+    Runner.run_audited ~protocol:Runner.Naive_boost ~n:64 ~beta:0.1 ~seed:1 ()
   in
   Alcotest.(check bool) "naive flooding violates" true
     (Audit.violation_count a > 0);
@@ -436,7 +436,7 @@ let test_audit_budget_fail () =
 
 let test_audit_timeline_jsonl () =
   let _row, a =
-    Runner.run_audited ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1 ~seed:1
+    Runner.run_audited ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1 ~seed:1 ()
   in
   let lines =
     String.split_on_char '\n'
@@ -469,7 +469,7 @@ let test_audit_pool_independent () =
     Parallel.set_domains domains;
     let _row, a =
       Runner.run_audited ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1
-        ~seed:5
+        ~seed:5 ()
     in
     (Audit.violation_count a, Audit.timeline_jsonl a)
   in
@@ -561,7 +561,7 @@ let test_profile_cache_counters () =
   (* End-to-end: a real run exercises both the decode memo and the per-node
      encode cache in ae_comm. *)
   Counters.reset ();
-  ignore (Runner.run ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1 ~seed:1);
+  ignore (Runner.run ~protocol:Runner.This_work_snark ~n:32 ~beta:0.1 ~seed:1 ());
   Alcotest.(check bool) "enc cache hits nonzero" true (v "aecomm.enc_hit" > 0);
   Alcotest.(check bool) "enc cache misses nonzero" true
     (v "aecomm.enc_miss" > 0);

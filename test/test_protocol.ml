@@ -227,7 +227,7 @@ let test_naive_baseline () =
 let test_runner_rows_all_ok () =
   List.iter
     (fun protocol ->
-      let row = Runner.run ~protocol ~n:64 ~beta:0.08 ~seed:21 in
+      let row = Runner.run ~protocol ~n:64 ~beta:0.08 ~seed:21 () in
       Alcotest.(check bool)
         (row.Runner.r_protocol ^ " ok: " ^ row.Runner.r_note)
         true row.Runner.r_ok)
@@ -235,8 +235,8 @@ let test_runner_rows_all_ok () =
 
 let test_runner_sqrt_vs_naive_shape () =
   (* sqrt baseline must be cheaper than naive flooding at moderate n *)
-  let sqrt_row = Runner.run ~protocol:Runner.Sqrt_boost ~n:256 ~beta:0.1 ~seed:22 in
-  let naive_row = Runner.run ~protocol:Runner.Naive_boost ~n:256 ~beta:0.1 ~seed:22 in
+  let sqrt_row = Runner.run ~protocol:Runner.Sqrt_boost ~n:256 ~beta:0.1 ~seed:22 () in
+  let naive_row = Runner.run ~protocol:Runner.Naive_boost ~n:256 ~beta:0.1 ~seed:22 () in
   Alcotest.(check bool) "sqrt < naive" true
     (sqrt_row.Runner.r_max_bytes < naive_row.Runner.r_max_bytes)
 

@@ -1,0 +1,252 @@
+(* Scheduler backend tests: the deterministic event queue behind the async
+   executor (heap order, per-edge latency streams, the GST contract), async
+   run determinism across reruns and domain-pool sizes, and transcript
+   replay of async-recorded logs. The cross-backend digest equalities live
+   in test_golden.ml; this file pins the async machinery itself. *)
+
+module Sched = Repro_net.Sched
+module Network = Repro_net.Network
+module Replay = Repro_net.Replay
+module Recorder = Repro_obs.Recorder
+module Rng = Repro_util.Rng
+module Parallel = Repro_util.Parallel
+module Runner = Repro_core.Runner
+open Repro_core
+
+(* --- the heap: pops sorted by (time, seq) --- *)
+
+let qcheck_heap_order =
+  QCheck.Test.make ~name:"heap: pops sorted by (time, seq)" ~count:200
+    QCheck.(small_list (int_bound 50))
+    (fun times ->
+      let h = Sched.Heap.create () in
+      List.iteri (fun seq time -> Sched.Heap.push h ~time ~seq seq) times;
+      let rec drain acc =
+        match Sched.Heap.pop h with
+        | None -> List.rev acc
+        | Some (time, seq, v) ->
+          if v <> seq then QCheck.Test.fail_report "payload/seq mismatch";
+          drain ((time, seq) :: acc)
+      in
+      let popped = drain [] in
+      let expected =
+        List.sort compare (List.mapi (fun seq time -> (time, seq)) times)
+      in
+      popped = expected)
+
+(* --- latency draws --- *)
+
+let chaos ~seed =
+  { Sched.a_seed = seed; a_delta = 2; a_jitter = 3; a_loss = 0.25; a_gst = 10 }
+
+(* Exact synchrony consumes no stream: a burst of pure-sync draws must not
+   perturb a later chaotic draw on the same edges. *)
+let test_pure_sync_no_draws () =
+  let sync = Sched.default_async in
+  let e1 = Sched.edges_create ~seed:7 in
+  for i = 0 to 99 do
+    let lat = Sched.draw_latency e1 sync ~src:(i mod 5) ~dst:3 ~now:i in
+    Alcotest.(check int) "pure-sync latency" 1 lat
+  done;
+  let e2 = Sched.edges_create ~seed:7 in
+  let c = chaos ~seed:7 in
+  for now = 0 to 19 do
+    Alcotest.(check int)
+      (Printf.sprintf "chaotic draw unperturbed at vt=%d" now)
+      (Sched.draw_latency e2 c ~src:2 ~dst:3 ~now)
+      (Sched.draw_latency e1 c ~src:2 ~dst:3 ~now)
+  done
+
+(* Every latency is >= 1, and past GST it is bounded by 1 + delta whatever
+   the jitter/loss knobs say. *)
+let qcheck_latency_bounds =
+  QCheck.Test.make ~name:"draw_latency: >= 1, post-GST <= 1 + delta"
+    ~count:500
+    QCheck.(
+      quad (int_bound 1000) (int_bound 6) (int_bound 4) (int_bound 40))
+    (fun (seed, jitter, delta, gst) ->
+      let cfg =
+        { Sched.a_seed = seed; a_delta = delta; a_jitter = jitter;
+          a_loss = 0.3; a_gst = gst }
+      in
+      let edges = Sched.edges_create ~seed in
+      let ok = ref true in
+      for now = 0 to 2 * gst + 5 do
+        let lat =
+          Sched.draw_latency edges cfg ~src:(seed mod 7) ~dst:(now mod 11) ~now
+        in
+        if lat < 1 then ok := false;
+        if now >= gst && lat > 1 + delta then ok := false
+      done;
+      !ok)
+
+(* The per-edge streams are children of the master seed keyed by (src, dst):
+   same knobs + same seed give identical draws, a different seed diverges. *)
+let test_edge_streams_seeded () =
+  let c = chaos ~seed:3 in
+  let draws seed =
+    let edges = Sched.edges_create ~seed in
+    List.init 40 (fun i ->
+        Sched.draw_latency edges c ~src:(i mod 4) ~dst:(i mod 6) ~now:i)
+  in
+  Alcotest.(check (list int)) "same seed, same draws" (draws 3) (draws 3);
+  Alcotest.(check bool) "different seed diverges" true (draws 3 <> draws 4)
+
+(* --- the partial-synchrony predicate has teeth --- *)
+
+let test_post_gst_teeth () =
+  let on_time =
+    [ { Sched.dl_send_vt = 12; dl_deliver_vt = 15 };
+      { Sched.dl_send_vt = 3; dl_deliver_vt = 30 } (* pre-GST: unconstrained *) ]
+  in
+  Alcotest.(check bool) "within 1+delta passes" true
+    (Sched.post_gst_ok ~gst:10 ~delta:2 on_time);
+  let planted_late = { Sched.dl_send_vt = 12; dl_deliver_vt = 16 } in
+  Alcotest.(check bool) "planted late delivery fails" false
+    (Sched.post_gst_ok ~gst:10 ~delta:2 (planted_late :: on_time))
+
+(* ... and holds on a real async protocol run, measured off the network's
+   own delivery log. *)
+module Ba_owf = Balanced_ba.Make (Srds_owf)
+
+let run_owf_async ~n ~seed cfg =
+  let rng = Rng.create seed in
+  let corrupt = Rng.subset rng ~n ~size:(n / 10) in
+  let bcfg =
+    Balanced_ba.default_config ~n ~corrupt
+      ~inputs:(Array.init n (fun i -> i mod 2 = 0))
+      ~seed ()
+  in
+  Ba_owf.run ~backend:(Sched.Async cfg) bcfg
+
+let test_post_gst_on_network () =
+  let cfg = chaos ~seed:5 in
+  let r = run_owf_async ~n:64 ~seed:5 cfg in
+  Alcotest.(check bool) "async run agreed" true r.Balanced_ba.agreed;
+  let stats =
+    match Network.async_stats r.Balanced_ba.net with
+    | Some s -> s
+    | None -> Alcotest.fail "async network carries no stats"
+  in
+  let log = Sched.deliveries stats in
+  Alcotest.(check bool) "network sampled deliveries" true (log <> []);
+  Alcotest.(check bool) "post-GST bound held on the real run" true
+    (Sched.post_gst_ok ~gst:cfg.Sched.a_gst ~delta:cfg.Sched.a_delta log);
+  Alcotest.(check int) "stats counted no post-GST stragglers" 0
+    stats.Sched.st_post_gst_late;
+  (* the chaos window actually bit: some pre-GST message took the
+     retransmit path, so the bound above was not vacuous *)
+  Alcotest.(check bool) "pre-GST losses occurred" true
+    (stats.Sched.st_pre_gst_lost > 0)
+
+(* --- async executor determinism --- *)
+
+let async_digest ~n ~seed =
+  let backend = Sched.Async (chaos ~seed) in
+  let _row, digest =
+    Runner.run_digest ~backend ~protocol:Runner.This_work_owf ~n ~beta:0.1
+      ~seed ()
+  in
+  digest
+
+let test_async_rerun_deterministic () =
+  Alcotest.(check string) "same chaotic transcript across reruns"
+    (async_digest ~n:64 ~seed:2) (async_digest ~n:64 ~seed:2)
+
+let test_async_pool_independent () =
+  let saved = Parallel.domains () in
+  Parallel.set_domains 1;
+  let one = async_digest ~n:64 ~seed:2 in
+  Parallel.set_domains 4;
+  let four = async_digest ~n:64 ~seed:2 in
+  Parallel.set_domains saved;
+  Alcotest.(check string) "chaotic transcript independent of REPRO_DOMAINS"
+    one four
+
+(* The acceptance matrix itself: silent and equivocate under chaos knobs,
+   including owf at n=256, all reaching agreement + validity within the
+   post-GST bound. *)
+let test_async_acceptance_cells () =
+  let cells = Runner.async_cells () in
+  Alcotest.(check int) "acceptance matrix size" 4 (List.length cells);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s vs %s n=%d ok" a.Runner.ay_protocol
+           a.Runner.ay_strategy a.Runner.ay_n)
+        true a.Runner.ay_ok)
+    cells;
+  Alcotest.(check bool) "owf n=256 cells present" true
+    (List.exists
+       (fun a -> a.Runner.ay_protocol = "this-work-owf" && a.Runner.ay_n = 256)
+       cells)
+
+(* --- replay of async-recorded logs --- *)
+
+let test_async_replay_roundtrip () =
+  let cfg = chaos ~seed:1 in
+  let backend = Sched.Async cfg in
+  let _row, rec_, corrupt =
+    Runner.run_recorded ~keep_payloads:true ~backend
+      ~protocol:Runner.This_work_owf ~n:40 ~beta:0.1 ~seed:1 ()
+  in
+  (* async-recorded sends carry virtual timestamps *)
+  let vts = ref 0 and sends = ref 0 in
+  Recorder.iter rec_ (function
+    | Recorder.Send s ->
+      incr sends;
+      if s.Recorder.s_vt <> None then incr vts
+    | _ -> ());
+  Alcotest.(check bool) "log has sends" true (!sends > 0);
+  Alcotest.(check int) "every send carries a virtual timestamp" !sends !vts;
+  (* JSONL round-trip preserves them, and the replayed network (same
+     backend config) reproduces every send byte-identically, vt included *)
+  match Replay.events_of_jsonl (Recorder.to_jsonl rec_) with
+  | Error e -> Alcotest.failf "async log parse failed: %s" e
+  | Ok events -> (
+    let parsed_vts =
+      List.length
+        (List.filter
+           (function Recorder.Send s -> s.Recorder.s_vt <> None | _ -> false)
+           events)
+    in
+    Alcotest.(check int) "virtual timestamps survive JSONL" !sends parsed_vts;
+    match Replay.self_check ~backend ~n:40 ~corrupt events with
+    | Ok k -> Alcotest.(check int) "all sends replayed identical" !sends k
+    | Error e -> Alcotest.failf "async replay diverged: %s" e)
+
+(* Lock-step logs stay exactly as before: no virtual timestamps. *)
+let test_lockstep_log_has_no_vt () =
+  let _row, rec_, _corrupt =
+    Runner.run_recorded ~protocol:Runner.This_work_owf ~n:40 ~beta:0.1 ~seed:1
+      ()
+  in
+  Recorder.iter rec_ (function
+    | Recorder.Send s ->
+      if s.Recorder.s_vt <> None then
+        Alcotest.fail "lock-step send stamped with a virtual timestamp"
+    | _ -> ())
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_heap_order;
+    QCheck_alcotest.to_alcotest qcheck_latency_bounds;
+    Alcotest.test_case "pure sync draws nothing from the streams" `Quick
+      test_pure_sync_no_draws;
+    Alcotest.test_case "edge streams seeded and deterministic" `Quick
+      test_edge_streams_seeded;
+    Alcotest.test_case "post-GST predicate has teeth" `Quick
+      test_post_gst_teeth;
+    Alcotest.test_case "post-GST bound holds on a real async run" `Quick
+      test_post_gst_on_network;
+    Alcotest.test_case "async transcript rerun-deterministic" `Quick
+      test_async_rerun_deterministic;
+    Alcotest.test_case "async transcript pool-independent" `Quick
+      test_async_pool_independent;
+    Alcotest.test_case "async acceptance cells (chaos knobs, n=256)" `Quick
+      test_async_acceptance_cells;
+    Alcotest.test_case "async replay round-trip (vt preserved)" `Quick
+      test_async_replay_roundtrip;
+    Alcotest.test_case "lock-step logs carry no virtual timestamps" `Quick
+      test_lockstep_log_has_no_vt;
+  ]

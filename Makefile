@@ -1,6 +1,6 @@
 .PHONY: build test bench bench-smoke bench-compare audit attack trace \
   scale scale-smoke profile profile-smoke forensics-smoke async-smoke \
-  check clean
+  conditions-smoke check clean
 
 build:
 	dune build
@@ -122,6 +122,24 @@ async-smoke: build
 	cmp ASYNC_report1.json ASYNC_report4.json && \
 	  echo "conform report: byte-identical across REPRO_DOMAINS=1 vs 4"
 
+# <30s E19 smoke: the network-condition attack matrix — partitions, churn,
+# delay and adaptive corruption over the async backend against owf, snark
+# and the Dolev-Strong baseline, including the planted never-healing /
+# unbounded-adaptive teeth rows (which must fail). The repro-attack/2
+# report is validated as JSON and must be byte-identical across
+# REPRO_DOMAINS=1 vs 4.
+conditions-smoke: build
+	REPRO_DOMAINS=1 ./_build/default/bin/ba_sim.exe attack -n 40 \
+	  --betas 0.125 --sanity-betas 0.45 --strategies silent,equivocate \
+	  --conditions --report CONDITIONS_report1.json
+	python3 -m json.tool CONDITIONS_report1.json > /dev/null && \
+	  echo "CONDITIONS_report1.json: valid JSON"
+	REPRO_DOMAINS=4 ./_build/default/bin/ba_sim.exe attack -n 40 \
+	  --betas 0.125 --sanity-betas 0.45 --strategies silent,equivocate \
+	  --conditions --report CONDITIONS_report4.json > /dev/null
+	cmp CONDITIONS_report1.json CONDITIONS_report4.json && \
+	  echo "conditions report: byte-identical across REPRO_DOMAINS=1 vs 4"
+
 # Umbrella gate: build, unit tests, bench JSON smoke, attack matrix, scale
 # sweep smoke, profile smoke, async/conformance smoke — everything a PR
 # must keep green, with a wall-clock guard so a performance regression in
@@ -130,7 +148,7 @@ CHECK_BUDGET_S ?= 420
 check: build
 	@t0=$$(date +%s); \
 	$(MAKE) test bench-smoke attack scale-smoke profile-smoke \
-	  forensics-smoke async-smoke || exit 1; \
+	  forensics-smoke async-smoke conditions-smoke || exit 1; \
 	t1=$$(date +%s); elapsed=$$((t1 - t0)); \
 	echo "check: all gates green in $${elapsed}s (budget $(CHECK_BUDGET_S)s)"; \
 	if [ $$elapsed -gt $(CHECK_BUDGET_S) ]; then \
@@ -144,4 +162,5 @@ clean:
 	  ATTACK_report.json SCALE_report.json PROFILE_report.json \
 	  FORENSICS_report.json FORENSICS_attack.json \
 	  FORENSICS_log1.jsonl FORENSICS_log4.jsonl \
-	  ASYNC_report1.json ASYNC_report4.json
+	  ASYNC_report1.json ASYNC_report4.json \
+	  CONDITIONS_report1.json CONDITIONS_report4.json

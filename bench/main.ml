@@ -42,13 +42,18 @@ let section title =
    machines — and (schema /5) a GC allocation profile: machine context like
    wall time, never gated. Schema /6 adds the E18 scheduler arrays:
    `conform` (cross-backend transcript digests) and `async` (partial-
-   synchrony chaos cells). *)
+   synchrony chaos cells). Schema /7 adds the E19 `conditions` array: one
+   object per network-condition attack cell (agreement/validity, rounds to
+   decide, final virtual time, pre/post-GST loss counts). [--compare]
+   skips any section the older file lacks, so /6 and earlier files stay
+   comparable. *)
 let experiment_times : (string * float * string * string * string) list ref =
   ref []
 let table1_json_rows : string list ref = ref []
 let scale_json_rows : string list ref = ref []
 let conform_json_rows : string list ref = ref []
 let async_json_rows : string list ref = ref []
+let conditions_json_rows : string list ref = ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -92,7 +97,7 @@ let scale_point_to_json ~cap (sp : Runner.scale_point) =
 let write_results ~total_wall_s =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-bench/6\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-bench/7\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Parallel.domains ()));
@@ -146,6 +151,10 @@ let write_results ~total_wall_s =
   array "conform" !conform_json_rows;
   Buffer.add_string buf ",\n";
   array "async" !async_json_rows;
+  Buffer.add_string buf ",\n";
+  (* schema /7: the E19 network-condition cells. Empty when the async
+     experiment did not run. *)
+  array "conditions" !conditions_json_rows;
   Buffer.add_string buf "\n";
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_results.json" in
@@ -204,7 +213,13 @@ let bench_table1 () =
 let bench_sweep () =
   section "E2-E4: scaling sweep (max KiB/party per n; fitted exponents)";
   let ns = if full then [ 64; 128; 256; 512; 1024 ] else [ 64; 128; 256; 512 ] in
-  Tablefmt.print (Runner.sweep_table ~ns ~beta:0.1 ~seed:1 ());
+  (* Dolev–Strong stays out of the sweep: its Theta(n^2) signature-chain
+     traffic makes the large-n points cost minutes of simulation for a
+     curve whose shape Table 1 already shows at n <= 256. *)
+  let protocols =
+    List.filter (fun p -> p <> Runner.Dolev_strong) Runner.all_protocols
+  in
+  Tablefmt.print (Runner.sweep_table ~ns ~beta:0.1 ~seed:1 ~protocols ());
   (* visual: the shapes on one log-log chart *)
   let series =
     List.mapi
@@ -217,7 +232,7 @@ let bench_sweep () =
              (fun (n, r) ->
                (float_of_int n, float_of_int r.Runner.r_max_bytes /. 1024.))
              sw.Runner.s_points))
-      Runner.all_protocols
+      protocols
   in
   Repro_util.Ascii_plot.print ~title:"max KiB per party vs n" ~x_label:"n"
     ~y_label:"KiB/party" series;
@@ -514,6 +529,20 @@ let async_cell_to_json (a : Runner.async_cell) =
     (json_escape a.Runner.ay_digest)
     a.Runner.ay_ok
 
+(* Same key set as the `cells` objects of the `repro-attack/2` report, so
+   one reader parses both. *)
+let condition_cell_to_json (c : Runner.attack_cell) =
+  Printf.sprintf
+    "{\"protocol\":\"%s\",\"strategy\":\"%s\",\"condition\":\"%s\",\"n\":%d,\"beta\":%.4f,\"seed\":%d,\"agreed\":%b,\"decided\":%.3f,\"valid\":%b,\"rounds\":%d,\"vt\":%d,\"pre_gst_lost\":%d,\"post_gst_late\":%d,\"ok\":%b,\"gated\":%b,\"expect\":\"%s\"}"
+    (json_escape c.Runner.ac_protocol)
+    (json_escape c.Runner.ac_strategy)
+    (json_escape c.Runner.ac_condition)
+    c.Runner.ac_n c.Runner.ac_beta c.Runner.ac_seed c.Runner.ac_agreed
+    c.Runner.ac_decided c.Runner.ac_valid c.Runner.ac_rounds c.Runner.ac_vt
+    c.Runner.ac_pre_gst_lost c.Runner.ac_post_gst_late c.Runner.ac_ok
+    c.Runner.ac_gated
+    (if c.Runner.ac_expect_fail then "may-fail" else "pass")
+
 let bench_async () =
   section
     "E18: scheduler backends - conformance + async partial synchrony";
@@ -554,7 +583,31 @@ let bench_async () =
   if not (List.for_all (fun a -> a.Runner.ay_ok) cells) then
     failwith "E18: an async chaos cell broke agreement/validity";
   conform_json_rows := List.map conform_cell_to_json conform;
-  async_json_rows := List.map async_cell_to_json cells
+  async_json_rows := List.map async_cell_to_json cells;
+  (* E19 slice: the network-condition matrix at gate beta, including the
+     two planted teeth rows (partition-forever, adaptive-unbounded). *)
+  let conditions =
+    if smoke then [ "delay"; "partition" ]
+    else
+      List.map Repro_adversary.Condition.name
+        (Repro_adversary.Condition.catalogue ())
+  in
+  let strategies = if smoke then [ "silent" ] else [ "silent"; "equivocate" ] in
+  let m =
+    Runner.attack_matrix ~betas:[ 0.125 ] ~sanity_betas:[] ~seeds:[ 1 ]
+      ~strategies ~conditions ~n:40 ()
+  in
+  Tablefmt.print (Runner.condition_table m);
+  if not m.Runner.am_gate_ok then
+    failwith "E19: a gated network-condition cell broke agreement/validity";
+  if not m.Runner.am_condition_teeth then
+    failwith "E19: a planted never-healing/unbounded row passed silently";
+  conditions_json_rows :=
+    List.filter_map
+      (fun c ->
+        if c.Runner.ac_condition = "none" then None
+        else Some (condition_cell_to_json c))
+      m.Runner.am_cells
 
 let bench_certificates () =
   section "E7: certificate size - SRDS aggregate vs multisig(+bitmask) vs n";
@@ -1152,6 +1205,34 @@ module Compare = struct
            | Some p, Some n, Some total, Some mx -> Some ((p, n), (total, mx))
            | _ -> None)
 
+  (* (protocol, strategy, condition, n, beta-in-1e-4, seed)
+     -> (ok, gated, rounds, vt); schema /7 files only. *)
+  let conditions path j =
+    section path "conditions" j
+    |> Fun.flip Option.bind J.to_list
+    |> Option.value ~default:[]
+    |> List.filter_map (fun r ->
+           match
+             ( Option.bind (J.member "protocol" r) J.to_string,
+               Option.bind (J.member "strategy" r) J.to_string,
+               Option.bind (J.member "condition" r) J.to_string,
+               Option.bind (J.member "n" r) J.to_int,
+               Option.bind (J.member "beta" r) J.to_float,
+               Option.bind (J.member "seed" r) J.to_int )
+           with
+           | Some p, Some s, Some c, Some n, Some b, Some seed ->
+             let flag k d =
+               Option.value ~default:d (Option.bind (J.member k r) J.to_bool)
+             in
+             let int k =
+               Option.value ~default:0 (Option.bind (J.member k r) J.to_int)
+             in
+             Some
+               ( (p, s, c, n, int_of_float (b *. 1e4), seed),
+                 (flag "ok" false, flag "gated" true, int "rounds", int "vt")
+               )
+           | _ -> None)
+
   (* Sign convention: positive = the current run costs more. *)
   let delta_pct prev cur =
     if prev = 0 then if cur = 0 then Some 0.0 else None
@@ -1268,6 +1349,42 @@ module Compare = struct
             ])
       ex_prev;
     Tablefmt.print tbl;
+
+    (* E19 condition cells (schema /7): gate only a gated cell flipping from
+       ok to broken — rounds/vt drift is printed for context. Pre-/7 files
+       have no "conditions" section and skip via [section]. *)
+    let cond_prev = conditions prev_path prev
+    and cond_cur = conditions cur_path cur in
+    (if cond_prev <> [] && cond_cur <> [] then begin
+       let tbl =
+         Tablefmt.create ~title:"condition cells (present in both files)"
+           ~headers:
+             [ "protocol"; "strategy"; "condition"; "ok prev"; "ok cur";
+               "d rounds"; "d vt" ]
+           ~aligns:[ Tablefmt.Left; Left; Left; Right; Right; Right; Right ]
+       in
+       List.iter
+         (fun (key, (ok_p, gated, rounds_p, vt_p)) ->
+           match List.assoc_opt key cond_cur with
+           | None -> ()
+           | Some (ok_c, _, rounds_c, vt_c) ->
+             let proto, strat, cond, _, _, _ = key in
+             if gated && ok_p && not ok_c then
+               regressions :=
+                 Printf.sprintf "condition %s/%s/%s ok -> broken" proto strat
+                   cond
+                 :: !regressions;
+             Tablefmt.add_row tbl
+               [
+                 proto; strat; cond;
+                 (if ok_p then "ok" else "x");
+                 (if ok_c then "ok" else "x");
+                 fmt_delta (delta_pct rounds_p rounds_c);
+                 fmt_delta (delta_pct vt_p vt_c);
+               ])
+         cond_prev;
+       Tablefmt.print tbl
+     end);
 
     match List.rev !regressions with
     | [] ->

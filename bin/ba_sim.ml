@@ -339,7 +339,7 @@ let report_out_arg =
     & opt (some string) None
     & info [ "report" ] ~docv:"FILE"
         ~doc:
-          "Write the machine-readable attack report (schema repro-attack/1, \
+          "Write the machine-readable attack report (schema repro-attack/2, \
            byte-identical across reruns with the same arguments).")
 
 let strategies_arg =
@@ -370,6 +370,20 @@ let sanity_betas_arg =
           "Out-of-model rates annotated may-fail; at least one such cell \
            must actually fail or the run exits non-zero (default 0.45).")
 
+let conditions_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some [ "all" ]) (some (list string)) None
+    & info [ "conditions" ] ~docv:"C1,C2,..."
+        ~doc:
+          "Network conditions to sweep on the async backend (default: none; \
+           bare --conditions = the full catalogue: delay, partition, \
+           partition-leaves, churn, adaptive). Appends one cell per (gate \
+           beta, condition, strategy) for the pipeline protocols plus the \
+           ungated dolev-strong reference row, and two planted expect-fail \
+           rows (never-healing partition, unbounded adaptive corruption) \
+           that must actually fail or the run exits non-zero.")
+
 let forensics_arg =
   Arg.(
     value
@@ -383,27 +397,48 @@ let forensics_arg =
            verified evidence (the extractor must have teeth).")
 
 let attack_cmd =
-  let action n seeds report_out strategies betas sanity_betas forensics_out =
-    let m = Runner.attack_matrix ?betas ?sanity_betas ?strategies ~seeds ~n () in
+  let action n seeds report_out strategies betas sanity_betas conditions
+      forensics_out =
+    let conditions =
+      match conditions with
+      | None -> []
+      | Some cs ->
+        List.concat_map
+          (fun c ->
+            if c = "all" then
+              List.map Repro_adversary.Condition.name
+                (Repro_adversary.Condition.catalogue ())
+            else [ c ])
+          cs
+    in
+    let m =
+      Runner.attack_matrix ?betas ?sanity_betas ?strategies ~conditions ~seeds
+        ~n ()
+    in
     Repro_util.Tablefmt.print (Runner.attack_table m);
+    if conditions <> [] then
+      Repro_util.Tablefmt.print (Runner.condition_table m);
     Printf.printf
-      "matrix: %d cells, %d strategies, protocols: %s\n"
+      "matrix: %d cells, %d strategies, %d condition(s), protocols: %s\n"
       (List.length m.Runner.am_cells)
       (List.length m.Runner.am_strategies)
+      (List.length m.Runner.am_conditions)
       (String.concat ", " m.Runner.am_protocols);
     let broken =
       List.filter
-        (fun c -> not (c.Runner.ac_ok || c.Runner.ac_expect_fail))
+        (fun c ->
+          not (c.Runner.ac_ok || c.Runner.ac_expect_fail)
+          && c.Runner.ac_gated)
         m.Runner.am_cells
     in
     List.iter
       (fun c ->
         Printf.printf
-          "BROKEN: %s vs %s beta=%.3f seed=%d (agreed=%b decided=%.2f \
-           valid=%b)\n"
-          c.Runner.ac_protocol c.Runner.ac_strategy c.Runner.ac_beta
-          c.Runner.ac_seed c.Runner.ac_agreed c.Runner.ac_decided
-          c.Runner.ac_valid)
+          "BROKEN: %s vs %s/%s beta=%.3f seed=%d (agreed=%b decided=%.2f \
+           valid=%b post_gst_late=%d)\n"
+          c.Runner.ac_protocol c.Runner.ac_strategy c.Runner.ac_condition
+          c.Runner.ac_beta c.Runner.ac_seed c.Runner.ac_agreed
+          c.Runner.ac_decided c.Runner.ac_valid c.Runner.ac_post_gst_late)
       broken;
     (match report_out with
     | Some file ->
@@ -423,6 +458,12 @@ let attack_cmd =
         (if m.Runner.am_teeth then
            "detected disagreement/non-decision (harness has teeth)"
          else "all passed - DETECTION SELF-CHECK FAILED");
+    if m.Runner.am_conditions <> [] then
+      Printf.printf "condition teeth: planted rows %s\n"
+        (if m.Runner.am_condition_teeth then
+           "(never-healing partition, unbounded adaptive) both broke the \
+            protocol (condition checks have teeth)"
+         else "survived - CONDITION SELF-CHECK FAILED");
     (* Forensic pass: bit-identical re-runs of the interesting cells with
        the flight recorder attached, evidence extracted and re-verified. *)
     let forensics_ok =
@@ -469,11 +510,13 @@ let attack_cmd =
         end
     in
     (* Non-zero exit if an in-model cell broke, if the sanity rows never
-       demonstrated a detectable failure (the checks must have teeth), or
-       if the evidence extractor missed a planted equivocation. *)
+       demonstrated a detectable failure (the checks must have teeth), if a
+       planted condition row survived (same principle on the condition
+       axis), or if the evidence extractor missed a planted equivocation. *)
     if
       (not m.Runner.am_gate_ok)
       || (m.Runner.am_sanity_betas <> [] && not m.Runner.am_teeth)
+      || (m.Runner.am_conditions <> [] && not m.Runner.am_condition_teeth)
       || not forensics_ok
     then exit 1
   in
@@ -481,10 +524,14 @@ let attack_cmd =
     (Cmd.info "attack"
        ~doc:
          "Sweep the composable adversary portfolio against the Fig. 3 \
-          pipeline protocols (E16); non-zero exit if any beta < 1/3 cell \
-          breaks agreement/validity.")
+          pipeline protocols (E16/E19); --conditions adds the \
+          network-condition axis (partitions, churn, adaptive corruption) \
+          over the async backend plus the ungated dolev-strong reference \
+          row; non-zero exit if any gated beta < 1/3 cell breaks \
+          agreement/validity or a planted teeth row survives.")
     Term.(const action $ attack_n_arg $ seeds_arg $ report_out_arg
-          $ strategies_arg $ betas_arg $ sanity_betas_arg $ forensics_arg)
+          $ strategies_arg $ betas_arg $ sanity_betas_arg $ conditions_arg
+          $ forensics_arg)
 
 (* --- table1 --- *)
 

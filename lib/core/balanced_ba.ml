@@ -130,7 +130,7 @@ module Make (S : Srds_intf.SCHEME) = struct
     adversary : Network.adversary option;
   }
 
-  let make_ctx ?audit ?recorder ?tap ?backend (cfg : config) : ctx =
+  let make_ctx ?audit ?recorder ?tap ?backend ?condition (cfg : config) : ctx =
     Repro_crypto.Wots.clear_cache ();
     let n = cfg.n in
     let rng = Rng.create cfg.seed in
@@ -150,6 +150,7 @@ module Make (S : Srds_intf.SCHEME) = struct
     Option.iter (Network.attach_audit net) audit;
     Option.iter (Network.attach_recorder net) recorder;
     Network.set_tap net tap;
+    Option.iter (Network.set_condition net) condition;
     (* Phase B: election establishes the tree. *)
     let ae =
       timed_net net "B: election" (fun () ->
@@ -581,8 +582,8 @@ module Make (S : Srds_intf.SCHEME) = struct
 
   (* --- the full Byzantine agreement protocol --- *)
 
-  let run ?audit ?recorder ?tap ?backend (cfg : config) : result =
-    let ctx = make_ctx ?audit ?recorder ?tap ?backend cfg in
+  let run ?audit ?recorder ?tap ?backend ?condition (cfg : config) : result =
+    let ctx = make_ctx ?audit ?recorder ?tap ?backend ?condition cfg in
     let timed name f = timed_net ctx.net name f in
     let n = cfg.n in
     let corrupt p = Network.is_corrupt ctx.net p in

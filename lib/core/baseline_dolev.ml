@@ -1,0 +1,130 @@
+(* Baseline: Dolev–Strong authenticated broadcast as a BA reference row.
+
+   The designated sender (party 0) signs its input and every honest party
+   relays accepted values with its own signature appended; after t + 1
+   relay rounds the unique accepted value (or the default on a corrupt,
+   equivocating sender) is the output. This is the classic authenticated
+   baseline of the Table 1 landscape (cf. the Momose–Ren axis in
+   PAPERS.md): tolerant of any message-content attack — forged or mangled
+   chains simply fail signature validation — but Theta(n^2) messages each
+   carrying an O(t)-deep signature chain, i.e. none of the balanced
+   polylog structure of the pipeline protocols. Under network conditions
+   its round-exact chain-depth discipline is brittle: a message deferred
+   across its relay round arrives with the wrong depth and is discarded,
+   which is why the matrix keeps its condition cells ungated reference
+   points. *)
+
+module Network = Repro_net.Network
+module Metrics = Repro_net.Metrics
+module Engine = Repro_net.Engine
+module Dolev = Repro_consensus.Dolev_strong
+module Mss = Repro_crypto.Mss
+
+type config = {
+  n : int;
+  corrupt : int list;
+  value : bool;
+  seed : int;
+}
+
+type result = {
+  net : Network.t; (* the run's network: backend stats, corrupt set *)
+  outputs : bool option array;
+  agreed : bool;
+  decided_fraction : float; (* honest parties that produced an output *)
+  correct_fraction : float;
+  report : Metrics.report;
+  breakdown : (string * int) list; (* sent bytes per tag group *)
+}
+
+let enc b = Bytes.make 1 (if b then '\001' else '\000')
+
+let run ?audit ?recorder ?tap ?backend ?condition ?adversary (cfg : config) :
+    result =
+  let n = cfg.n in
+  let net = Network.create ?backend ~n ~corrupt:cfg.corrupt () in
+  Option.iter (Network.attach_audit net) audit;
+  Option.iter (Network.attach_recorder net) recorder;
+  Network.set_tap net tap;
+  Option.iter (Network.set_condition net) condition;
+  (* PKI setup (uncharged, like the pipeline's phase A): one small Merkle
+     key per party — a Dolev–Strong relayer signs each value once, so a
+     handful of leaves suffices and keygen stays cheap at scale. *)
+  let keys =
+    Array.init n (fun p ->
+        Mss.keygen ~height:3
+          (Bytes.of_string (Printf.sprintf "ds-key-%d-%d" cfg.seed p)))
+  in
+  let vks = Array.map fst keys in
+  let members = List.init n (fun i -> i) in
+  let sender = 0 in
+  let value_bytes = enc cfg.value in
+  let sts =
+    Array.init n (fun p ->
+        if Network.is_honest net p then
+          Some
+            (Dolev.create ~members ~me:p ~sender
+               ~pki:{ Dolev.vks; sk = snd keys.(p) }
+               ~input:value_bytes)
+        else None)
+  in
+  let rounds = Dolev.rounds ~members in
+  (match Network.recorder net with
+  | Some r ->
+    Repro_obs.Recorder.note_phase r ~round:(Network.round net) "dolev-strong"
+  | None -> ());
+  Repro_obs.Audit.with_phase (Network.audit net) "dolev-strong" (fun () ->
+      Engine.run net ?adversary ~tag:"ds" ~rounds
+        ~machines:(fun p ->
+          match sts.(p) with
+          | Some st -> [ ("bcast", Dolev.machine st) ]
+          | None -> [])
+        ());
+  let outputs = Array.make n None in
+  let honest p = Network.is_honest net p in
+  Array.iteri
+    (fun p st ->
+      match st with
+      | Some st when honest p ->
+        (* corrupt-sender ambiguity resolves to the default: still
+           agreement, validity is vacuous *)
+        (match Dolev.output ~default:(enc false) st with
+        | Some v -> outputs.(p) <- Some (Bytes.length v = 1 && Bytes.get v 0 = '\001')
+        | None -> ())
+      | _ -> ())
+    sts;
+  (match Network.recorder net with
+  | Some r ->
+    let round = Network.round net in
+    Array.iteri
+      (fun p o ->
+        match o with
+        | Some v when honest p ->
+          Repro_obs.Recorder.note_decide r ~round ~party:p
+            ~value:(if v then "1" else "0")
+        | _ -> ())
+      outputs
+  | None -> ());
+  let honest_list = List.filter honest (List.init n (fun p -> p)) in
+  let decided = List.filter_map (fun p -> outputs.(p)) honest_list in
+  let agreed =
+    match decided with
+    | [] -> false
+    | d :: rest -> List.for_all (fun x -> x = d) rest
+  in
+  let correct =
+    List.length
+      (List.filter (fun p -> outputs.(p) = Some cfg.value) honest_list)
+  in
+  {
+    net;
+    outputs;
+    agreed;
+    decided_fraction =
+      float_of_int (List.length decided)
+      /. float_of_int (max 1 (List.length honest_list));
+    correct_fraction =
+      float_of_int correct /. float_of_int (max 1 (List.length honest_list));
+    report = Metrics.report ~include_party:honest (Network.metrics net);
+    breakdown = Metrics.tag_breakdown (Network.metrics net);
+  }

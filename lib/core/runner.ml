@@ -9,6 +9,7 @@ module Tablefmt = Repro_util.Tablefmt
 module Parallel = Repro_util.Parallel
 module Metrics = Repro_net.Metrics
 module Audit = Repro_obs.Audit
+module Sched = Repro_net.Sched
 
 type protocol =
   | This_work_owf (* Fig. 3 over the OWF/trusted-PKI SRDS *)
@@ -16,9 +17,13 @@ type protocol =
   | Multisig_boost (* same pipeline over Theta(n) multisignature certs [13] *)
   | Sqrt_boost (* KS'09-style quorums, Theta~(sqrt n)/party *)
   | Naive_boost (* flooding, Theta(n)/party *)
+  | Dolev_strong (* authenticated Dolev-Strong broadcast, Theta(n^2) msgs *)
 
 let all_protocols =
-  [ This_work_owf; This_work_snark; Multisig_boost; Sqrt_boost; Naive_boost ]
+  [
+    This_work_owf; This_work_snark; Multisig_boost; Sqrt_boost; Naive_boost;
+    Dolev_strong;
+  ]
 
 let protocol_name = function
   | This_work_owf -> "this-work-owf"
@@ -26,6 +31,7 @@ let protocol_name = function
   | Multisig_boost -> "multisig-boost"
   | Sqrt_boost -> "sqrt-quorum"
   | Naive_boost -> "naive-flood"
+  | Dolev_strong -> "dolev-strong"
 
 let protocol_of_name = function
   | "this-work-owf" | "owf" -> Some This_work_owf
@@ -33,6 +39,7 @@ let protocol_of_name = function
   | "multisig-boost" | "multisig" -> Some Multisig_boost
   | "sqrt-quorum" | "sqrt" -> Some Sqrt_boost
   | "naive-flood" | "naive" -> Some Naive_boost
+  | "dolev-strong" | "ds" -> Some Dolev_strong
   | _ -> None
 
 (* Declared audit budgets, all of the paper's polylog form c*log^k(n)*kappa^j.
@@ -92,6 +99,16 @@ let budgets_of = function
       total_bits = Some (Audit.curve ~c:8.0 ~log_exp:1 ~kappa_exp:1);
     }
   | Naive_boost ->
+    {
+      Audit.round_bits = Some (Audit.curve ~c:4.0 ~log_exp:1 ~kappa_exp:1);
+      round_locality = Some (Audit.curve ~c:2.0 ~log_exp:1 ~kappa_exp:0);
+      total_bits = Some (Audit.curve ~c:8.0 ~log_exp:1 ~kappa_exp:1);
+    }
+  | Dolev_strong ->
+    (* The authenticated reference point: Theta(n^2) messages carrying
+       O(t)-deep signature chains. Declared against the same polylog bar
+       as the flooding baseline — it exceeds every check, which is the
+       Table 1 separation the audit should exhibit. *)
     {
       Audit.round_bits = Some (Audit.curve ~c:4.0 ~log_exp:1 ~kappa_exp:1);
       round_locality = Some (Audit.curve ~c:2.0 ~log_exp:1 ~kappa_exp:0);
@@ -214,6 +231,26 @@ let run_with ?audit ?recorder ?tap ?backend ~protocol ~n ~beta ~seed () : row =
       ~ok:(r.Baseline_naive.agreed && r.Baseline_naive.correct_fraction > 0.99)
       ~note:(Printf.sprintf "correct=%.2f" r.Baseline_naive.correct_fraction)
       ~breakdown:r.Baseline_naive.breakdown
+  | Dolev_strong ->
+    let rng = Rng.create seed in
+    let corrupt = corrupt_set rng ~n ~beta in
+    let r =
+      Baseline_dolev.run ?audit ?recorder ?tap ?backend
+        { n; corrupt; value = true; seed }
+    in
+    (* Broadcast validity is vacuous under a corrupt designated sender:
+       the corrupt set is a uniform draw, so the sender lands in it with
+       probability beta — agreement (on the default) must still hold. *)
+    let sender_corrupt = List.mem 0 corrupt in
+    row_of_report ~protocol:"dolev-strong" ~n ~beta
+      ~report:r.Baseline_dolev.report
+      ~ok:
+        (r.Baseline_dolev.agreed
+        && (sender_corrupt || r.Baseline_dolev.correct_fraction > 0.99))
+      ~note:
+        (Printf.sprintf "correct=%.2f%s" r.Baseline_dolev.correct_fraction
+           (if sender_corrupt then " sender-corrupt" else ""))
+      ~breakdown:r.Baseline_dolev.breakdown
 
 let run_audited ?backend ~protocol ~n ~beta ~seed () : row * Audit.t =
   let a = make_auditor ~protocol ~n in
@@ -279,6 +316,7 @@ let run_under_attack ~strategy ~n ~beta ~seed : row =
    cell breaking is the harness's proof that its checks have teeth. *)
 
 module Strategy = Repro_adversary.Strategy
+module Condition = Repro_adversary.Condition
 
 type attack_cell = {
   ac_protocol : string;
@@ -290,7 +328,13 @@ type attack_cell = {
   ac_decided : float;
   ac_valid : bool;
   ac_ok : bool; (* agreed, >95% of honest parties decided, validity held *)
-  ac_expect_fail : bool; (* beta >= 1/3 sanity row: failure is in-model *)
+  ac_expect_fail : bool; (* sanity row / planted condition: may fail *)
+  ac_condition : string; (* "none": content-only cell on the default backend *)
+  ac_gated : bool; (* counts toward the matrix gate (reference rows do not) *)
+  ac_rounds : int;
+  ac_vt : int; (* final virtual time (= rounds on lock-step backends) *)
+  ac_pre_gst_lost : int; (* condition cells: retransmit-path messages *)
+  ac_post_gst_late : int; (* 0 by the partial-synchrony contract *)
 }
 
 type attack_matrix = {
@@ -300,42 +344,118 @@ type attack_matrix = {
   am_seeds : int list;
   am_protocols : string list;
   am_strategies : string list;
+  am_conditions : string list; (* network conditions swept (may be empty) *)
   am_cells : attack_cell list; (* deterministic input order *)
-  am_gate_ok : bool; (* every non-sanity cell is ok *)
+  am_gate_ok : bool; (* every gated non-sanity cell is ok *)
   am_teeth : bool; (* some sanity cell actually failed *)
+  am_condition_teeth : bool;
+      (* the planted never-healing partition and unbounded adaptive rows
+         exist and both actually failed: the condition checks have teeth *)
 }
 
-(* The matrix covers the protocols whose adversary hook threads through
-   every phase of the pipeline (Balanced_ba's [config.adversary]). *)
+(* The content-only matrix covers the protocols whose adversary hook
+   threads through every phase of the pipeline (Balanced_ba's
+   [config.adversary]). *)
 let attack_protocols = [ This_work_owf; This_work_snark ]
+
+(* The condition sweep adds the authenticated Dolev-Strong baseline as an
+   ungated reference row: its round-exact chain-depth discipline is
+   brittle under reordering (a relay deferred past its round arrives with
+   the wrong depth and is discarded), so its cells inform the separation
+   story without gating the matrix. *)
+let condition_protocols = [ This_work_owf; This_work_snark; Dolev_strong ]
+
+let default_chaos ~seed : Sched.async_cfg =
+  { Sched.a_seed = seed; a_delta = 2; a_jitter = 3; a_loss = 0.1; a_gst = 24 }
 
 let c_attack_cells = Repro_obs.Counters.make "attack.cells"
 
-let run_attack_cell ?recorder ?tap ?backend ~protocol ~strategy_name ~n ~beta
-    ~seed ~expect_fail () =
+let run_attack_cell ?recorder ?tap ?backend ?condition_name ?(gated = true)
+    ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail () =
   let strategy =
     match Strategy.find ~n ~seed strategy_name with
     | Some s -> s
     | None -> invalid_arg ("attack matrix: unknown strategy " ^ strategy_name)
   in
   let adversary = Strategy.instantiate strategy ~seed in
+  let condition =
+    match condition_name with
+    | None -> None
+    | Some cn -> (
+      match Condition.find cn with
+      | Some c -> Some c
+      | None -> invalid_arg ("attack matrix: unknown condition " ^ cn))
+  in
+  (* Condition cells run on the async backend — the only executor with a
+     delivery heap to program; without a condition the backend stays
+     whatever the caller chose (default sparse), so the legacy matrix is
+     byte-identical to repro-attack/1. *)
+  let backend, cond_inst =
+    match condition with
+    | None -> (backend, None)
+    | Some c ->
+      let cfg =
+        match backend with
+        | Some (Sched.Async cfg) -> cfg
+        | Some _ ->
+          invalid_arg "attack matrix: conditions require the async backend"
+        | None -> default_chaos ~seed
+      in
+      (Some (Sched.Async cfg), Some (Condition.prepare c ~n ~beta ~seed ~cfg))
+  in
   let rng = Rng.create seed in
-  let corrupt = corrupt_set rng ~n ~beta in
+  (* The static corrupt set stays the run's first RNG draw; an adaptive
+     condition reserves part of the beta budget for mid-run upgrades, so
+     static + upgrades never exceed floor(beta * n). *)
+  let corrupt =
+    match condition with
+    | None -> corrupt_set rng ~n ~beta
+    | Some c -> Rng.subset rng ~n ~size:(Condition.static_size c ~n ~beta)
+  in
   let inputs = Array.init n (fun i -> (i + seed) mod 2 = 0) in
-  let cfg = Balanced_ba.default_config ~adversary ~n ~corrupt ~inputs ~seed () in
-  let (r : Balanced_ba.result) =
+  let agreed, decided, valid, rounds, net =
     match protocol with
-    | This_work_owf -> Ba_owf.run ?recorder ?tap ?backend cfg
-    | This_work_snark -> Ba_snark.run ?recorder ?tap ?backend cfg
-    | _ -> invalid_arg "attack matrix: pipeline protocols only (owf/snark)"
+    | This_work_owf | This_work_snark ->
+      let cfg =
+        Balanced_ba.default_config ~adversary ~n ~corrupt ~inputs ~seed ()
+      in
+      let run = if protocol = This_work_owf then Ba_owf.run else Ba_snark.run in
+      let (r : Balanced_ba.result) =
+        run ?recorder ?tap ?backend ?condition:cond_inst cfg
+      in
+      ( r.Balanced_ba.agreed,
+        r.Balanced_ba.decided_fraction,
+        r.Balanced_ba.valid,
+        r.Balanced_ba.report.Metrics.rounds,
+        r.Balanced_ba.net )
+    | Dolev_strong ->
+      let (r : Baseline_dolev.result) =
+        Baseline_dolev.run ?recorder ?tap ?backend ?condition:cond_inst
+          ~adversary { n; corrupt; value = true; seed }
+      in
+      (* broadcast validity is vacuous under a corrupt designated sender *)
+      let valid =
+        List.mem 0 corrupt || r.Baseline_dolev.correct_fraction > 0.99
+      in
+      ( r.Baseline_dolev.agreed,
+        r.Baseline_dolev.decided_fraction,
+        valid,
+        r.Baseline_dolev.report.Metrics.rounds,
+        r.Baseline_dolev.net )
+    | _ ->
+      invalid_arg "attack matrix: owf/snark pipelines or dolev-strong only"
+  in
+  let pre_gst_lost, post_gst_late =
+    match Repro_net.Network.async_stats net with
+    | Some s -> (s.Sched.st_pre_gst_lost, s.Sched.st_post_gst_late)
+    | None -> (0, 0)
   in
   let ok =
-    r.Balanced_ba.agreed
-    && r.Balanced_ba.decided_fraction > 0.95
-    && r.Balanced_ba.valid
+    agreed && decided > 0.95 && valid
+    && (Option.is_none condition || post_gst_late = 0)
   in
   Repro_obs.Counters.bump c_attack_cells;
-  if (not ok) && not expect_fail then
+  if (not ok) && gated && not expect_fail then
     Repro_obs.Counters.bump
       (Repro_obs.Counters.make ("attack.violations." ^ strategy_name));
   {
@@ -344,15 +464,21 @@ let run_attack_cell ?recorder ?tap ?backend ~protocol ~strategy_name ~n ~beta
     ac_n = n;
     ac_beta = beta;
     ac_seed = seed;
-    ac_agreed = r.Balanced_ba.agreed;
-    ac_decided = r.Balanced_ba.decided_fraction;
-    ac_valid = r.Balanced_ba.valid;
+    ac_agreed = agreed;
+    ac_decided = decided;
+    ac_valid = valid;
     ac_ok = ok;
     ac_expect_fail = expect_fail;
+    ac_condition = (match condition_name with Some c -> c | None -> "none");
+    ac_gated = gated;
+    ac_rounds = rounds;
+    ac_vt = Repro_net.Network.virtual_time net;
+    ac_pre_gst_lost = pre_gst_lost;
+    ac_post_gst_late = post_gst_late;
   }
 
 let attack_matrix ?(betas = [ 0.0; 0.0625; 0.125 ]) ?(sanity_betas = [ 0.45 ])
-    ?(seeds = [ 1 ]) ?strategies ~n () =
+    ?(seeds = [ 1 ]) ?strategies ?(conditions = []) ~n () =
   let strategies =
     match strategies with
     | Some ss -> ss
@@ -361,7 +487,8 @@ let attack_matrix ?(betas = [ 0.0; 0.0625; 0.125 ]) ?(sanity_betas = [ 0.45 ])
   (* Deterministic cell order: seed-major, then beta (required before
      sanity), strategy, protocol. Cells are independent simulations keyed
      only by their own parameters, so they fan out on the domain pool with
-     bit-identical results at any pool size. *)
+     bit-identical results at any pool size. A cell spec is
+     (protocol, strategy, beta, seed, expect_fail, condition, gated). *)
   let cells =
     List.concat_map
       (fun seed ->
@@ -370,18 +497,64 @@ let attack_matrix ?(betas = [ 0.0; 0.0625; 0.125 ]) ?(sanity_betas = [ 0.45 ])
             List.concat_map
               (fun strategy_name ->
                 List.map
-                  (fun protocol -> (protocol, strategy_name, beta, seed, expect_fail))
+                  (fun protocol ->
+                    (protocol, strategy_name, beta, seed, expect_fail, None, true))
                   attack_protocols)
               strategies)
           (List.map (fun b -> (b, false)) betas
           @ List.map (fun b -> (b, true)) sanity_betas))
       seeds
   in
+  (* Condition cells extend the sweep with the network-condition axis at
+     the gate betas (a condition is orthogonal to the sanity rows — those
+     prove the *content* checks have teeth; the planted condition rows
+     below prove the condition checks do). The Dolev-Strong reference rows
+     ride along ungated. *)
+  let condition_cells =
+    List.concat_map
+      (fun seed ->
+        List.concat_map
+          (fun beta ->
+            List.concat_map
+              (fun condition ->
+                List.concat_map
+                  (fun strategy_name ->
+                    List.map
+                      (fun protocol ->
+                        ( protocol, strategy_name, beta, seed, false,
+                          Some condition, protocol <> Dolev_strong ))
+                      condition_protocols)
+                  strategies)
+              conditions)
+          betas)
+      seeds
+  in
+  (* Planted teeth rows: a never-healing bidirectional half-split must
+     break liveness, and an adaptive adversary with no corruption budget
+     must break agreement/validity. Both are expect-fail; the matrix's
+     [am_condition_teeth] verdict is that they exist and actually failed. *)
+  let teeth_cells =
+    if conditions = [] then []
+    else
+      let seed = match seeds with s :: _ -> s | [] -> 1 in
+      [
+        ( This_work_owf, "silent", 0.125, seed, true, Some "partition-forever",
+          true );
+        ( This_work_owf, "silent", 0.125, seed, true,
+          Some "adaptive-unbounded", true );
+      ]
+  in
   let results =
     Parallel.map_list ~chunk:1
-      (fun (protocol, strategy_name, beta, seed, expect_fail) ->
-        run_attack_cell ~protocol ~strategy_name ~n ~beta ~seed ~expect_fail ())
-      cells
+      (fun (protocol, strategy_name, beta, seed, expect_fail, condition_name, gated) ->
+        run_attack_cell ?condition_name ~gated ~protocol ~strategy_name ~n
+          ~beta ~seed ~expect_fail ())
+      (cells @ condition_cells @ teeth_cells)
+  in
+  let condition_teeth_cells =
+    List.filter
+      (fun c -> c.ac_expect_fail && c.ac_condition <> "none")
+      results
   in
   {
     am_n = n;
@@ -390,16 +563,27 @@ let attack_matrix ?(betas = [ 0.0; 0.0625; 0.125 ]) ?(sanity_betas = [ 0.45 ])
     am_seeds = seeds;
     am_protocols = List.map protocol_name attack_protocols;
     am_strategies = strategies;
+    am_conditions = conditions;
     am_cells = results;
     am_gate_ok =
-      List.for_all (fun c -> c.ac_ok || c.ac_expect_fail) results;
+      List.for_all
+        (fun c -> c.ac_ok || c.ac_expect_fail || not c.ac_gated)
+        results;
     am_teeth =
-      List.exists (fun c -> c.ac_expect_fail && not c.ac_ok) results;
+      List.exists
+        (fun c -> c.ac_expect_fail && c.ac_condition = "none" && not c.ac_ok)
+        results;
+    am_condition_teeth =
+      condition_teeth_cells <> []
+      && List.for_all (fun c -> not c.ac_ok) condition_teeth_cells;
   }
 
-(* schema repro-attack/1: readable back via Repro_util.Json; the writer is
+(* schema repro-attack/2: readable back via Repro_util.Json; the writer is
    hand-rolled (like bench/main.ml) so byte-identical reruns stay under our
-   control — the determinism test diffs the raw string. *)
+   control — the determinism test diffs the raw string. /2 adds the
+   condition axis: a "conditions" header, per-cell condition/gated fields,
+   the scheduler observables (rounds, vt, pre/post-GST counts) and the
+   "condition_teeth" verdict for the planted expect-fail condition rows. *)
 let attack_matrix_json (m : attack_matrix) =
   let buf = Buffer.create 4096 in
   let str s = Printf.sprintf "\"%s\"" s in
@@ -409,7 +593,7 @@ let attack_matrix_json (m : attack_matrix) =
   in
   let ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"repro-attack/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"repro-attack/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"n\": %d,\n" m.am_n);
   Buffer.add_string buf (Printf.sprintf "  \"betas\": %s,\n" (floats m.am_betas));
   Buffer.add_string buf
@@ -419,26 +603,33 @@ let attack_matrix_json (m : attack_matrix) =
     (Printf.sprintf "  \"protocols\": %s,\n" (strs m.am_protocols));
   Buffer.add_string buf
     (Printf.sprintf "  \"strategies\": %s,\n" (strs m.am_strategies));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"conditions\": %s,\n" (strs m.am_conditions));
   Buffer.add_string buf "  \"cells\": [\n";
   let last = List.length m.am_cells - 1 in
   List.iteri
     (fun i c ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"protocol\":%s,\"strategy\":%s,\"n\":%d,\"beta\":%.4f,\"seed\":%d,\"agreed\":%b,\"decided\":%.3f,\"valid\":%b,\"ok\":%b,\"expect\":%s}%s\n"
-           (str c.ac_protocol) (str c.ac_strategy) c.ac_n c.ac_beta c.ac_seed
-           c.ac_agreed c.ac_decided c.ac_valid c.ac_ok
+           "    {\"protocol\":%s,\"strategy\":%s,\"condition\":%s,\"n\":%d,\"beta\":%.4f,\"seed\":%d,\"agreed\":%b,\"decided\":%.3f,\"valid\":%b,\"rounds\":%d,\"vt\":%d,\"pre_gst_lost\":%d,\"post_gst_late\":%d,\"ok\":%b,\"gated\":%b,\"expect\":%s}%s\n"
+           (str c.ac_protocol) (str c.ac_strategy) (str c.ac_condition) c.ac_n
+           c.ac_beta c.ac_seed c.ac_agreed c.ac_decided c.ac_valid c.ac_rounds
+           c.ac_vt c.ac_pre_gst_lost c.ac_post_gst_late c.ac_ok c.ac_gated
            (str (if c.ac_expect_fail then "may-fail" else "pass"))
            (if i = last then "" else ",")))
     m.am_cells;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf (Printf.sprintf "  \"gate_ok\": %b,\n" m.am_gate_ok);
-  Buffer.add_string buf (Printf.sprintf "  \"teeth\": %b\n" m.am_teeth);
+  Buffer.add_string buf (Printf.sprintf "  \"teeth\": %b,\n" m.am_teeth);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"condition_teeth\": %b\n" m.am_condition_teeth);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 (* One table row per (strategy, beta): the per-protocol columns count ok
-   cells across seeds, so the rendering stays compact at any seed count. *)
+   cells across seeds, so the rendering stays compact at any seed count.
+   Content-only cells only; the condition axis renders separately in
+   {!condition_table}. *)
 let attack_table (m : attack_matrix) =
   let t =
     Tablefmt.create
@@ -465,7 +656,8 @@ let attack_table (m : attack_matrix) =
             let mine =
               List.filter
                 (fun c ->
-                  c.ac_strategy = strategy && c.ac_beta = beta
+                  c.ac_condition = "none"
+                  && c.ac_strategy = strategy && c.ac_beta = beta
                   && c.ac_protocol = protocol
                   && c.ac_expect_fail = expect_fail)
                 m.am_cells
@@ -483,6 +675,61 @@ let attack_table (m : attack_matrix) =
             @ List.map cell m.am_protocols))
         betas)
     m.am_strategies;
+  t
+
+(* One row per (condition, strategy, beta, expect): the per-protocol
+   columns cover {!condition_protocols} — the dolev-strong column is the
+   ungated authenticated reference. Row order follows cell order, so the
+   planted teeth rows render last. *)
+let condition_table (m : attack_matrix) =
+  let cells = List.filter (fun c -> c.ac_condition <> "none") m.am_cells in
+  let protos = List.map protocol_name condition_protocols in
+  let keys =
+    List.rev
+      (List.fold_left
+         (fun acc c ->
+           let k = (c.ac_condition, c.ac_strategy, c.ac_beta, c.ac_expect_fail) in
+           if List.mem k acc then acc else k :: acc)
+         [] cells)
+  in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "condition matrix: n=%d, %d seed(s) (ok cells / cells; x = broken; \
+            dolev-strong ungated)"
+           m.am_n (List.length m.am_seeds))
+      ~headers:([ "condition"; "strategy"; "beta"; "expect" ] @ protos)
+      ~aligns:
+        ([ Tablefmt.Left; Left; Right; Left ]
+        @ List.map (fun _ -> Tablefmt.Right) protos)
+  in
+  List.iter
+    (fun (condition, strategy, beta, expect_fail) ->
+      let cell protocol =
+        let mine =
+          List.filter
+            (fun c ->
+              c.ac_condition = condition && c.ac_strategy = strategy
+              && c.ac_beta = beta && c.ac_protocol = protocol
+              && c.ac_expect_fail = expect_fail)
+            cells
+        in
+        if mine = [] then "-"
+        else
+          let ok = List.length (List.filter (fun c -> c.ac_ok) mine) in
+          Printf.sprintf "%d/%d%s" ok (List.length mine)
+            (if ok < List.length mine then " x" else "")
+      in
+      Tablefmt.add_row t
+        ([
+           condition;
+           strategy;
+           Printf.sprintf "%.3f" beta;
+           (if expect_fail then "may-fail" else "pass");
+         ]
+        @ List.map cell protos))
+    keys;
   t
 
 (* --- Table 1 (measured): all protocols at a fixed n --- *)
@@ -656,6 +903,9 @@ let scale_cap = function
   | This_work_snark -> Some 2048
   | Naive_boost -> Some 2048
   | Multisig_boost -> Some 512
+  (* quadratic messages x O(t)-deep chain verification: the costliest
+     simulation per byte of the whole landscape *)
+  | Dolev_strong -> Some 256
 
 let scale_point ~protocol ~n ~beta ~seed =
   let row, a = run_audited ~protocol ~n ~beta ~seed () in
@@ -1092,6 +1342,7 @@ let explain_json (ex : explain_report) =
 type forensic_bundle = {
   fb_protocol : string;
   fb_strategy : string;
+  fb_condition : string; (* the cell's network condition ("none" = legacy) *)
   fb_beta : float;
   fb_seed : int;
   fb_cell_ok : bool; (* the triggering cell's gate verdict *)
@@ -1126,9 +1377,11 @@ let cell_forensics (c : attack_cell) : forensic_bundle =
   in
   let r = Recorder.create () in
   let (_ : attack_cell) =
-    run_attack_cell ~recorder:r ~protocol ~strategy_name:c.ac_strategy
-      ~n:c.ac_n ~beta:c.ac_beta ~seed:c.ac_seed ~expect_fail:c.ac_expect_fail
-      ()
+    run_attack_cell ~recorder:r
+      ?condition_name:
+        (if c.ac_condition = "none" then None else Some c.ac_condition)
+      ~gated:c.ac_gated ~protocol ~strategy_name:c.ac_strategy ~n:c.ac_n
+      ~beta:c.ac_beta ~seed:c.ac_seed ~expect_fail:c.ac_expect_fail ()
   in
   (* [corrupt_only]: honest protocols legitimately send distinct payloads
      under one tag (per-recipient Shamir shares in the coin toss), so only
@@ -1142,6 +1395,7 @@ let cell_forensics (c : attack_cell) : forensic_bundle =
   {
     fb_protocol = c.ac_protocol;
     fb_strategy = c.ac_strategy;
+    fb_condition = c.ac_condition;
     fb_beta = c.ac_beta;
     fb_seed = c.ac_seed;
     fb_cell_ok = c.ac_ok;
@@ -1179,9 +1433,9 @@ let attack_forensics_json ~n bundles =
     (fun i b ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"protocol\":%s,\"strategy\":%s,\"beta\":%.4f,\"seed\":%d,\"cell_ok\":%b,\"expect\":%s,\"evidence\":[\n"
-           (jstr b.fb_protocol) (jstr b.fb_strategy) b.fb_beta b.fb_seed
-           b.fb_cell_ok
+           "    {\"protocol\":%s,\"strategy\":%s,\"condition\":%s,\"beta\":%.4f,\"seed\":%d,\"cell_ok\":%b,\"expect\":%s,\"evidence\":[\n"
+           (jstr b.fb_protocol) (jstr b.fb_strategy) (jstr b.fb_condition)
+           b.fb_beta b.fb_seed b.fb_cell_ok
            (jstr (if b.fb_expect_fail then "may-fail" else "pass")));
       let elast = List.length b.fb_evidence - 1 in
       List.iteri
@@ -1223,7 +1477,6 @@ let attack_forensics_json ~n bundles =
    validity and the post-GST delivery bound all hold, deterministically on
    any domain-pool size. *)
 
-module Sched = Repro_net.Sched
 module Sha256 = Repro_crypto.Sha256
 
 let run_digest ?backend ~protocol ~n ~beta ~seed () : row * string =
@@ -1306,9 +1559,6 @@ type async_cell = {
   ay_digest : string; (* transcript digest: rerun-determinism witness *)
   ay_ok : bool;
 }
-
-let default_chaos ~seed : Sched.async_cfg =
-  { Sched.a_seed = seed; a_delta = 2; a_jitter = 3; a_loss = 0.1; a_gst = 24 }
 
 let run_async_cell ~protocol ~strategy_name ~n ~beta ~seed ~cfg () : async_cell =
   let strategy =

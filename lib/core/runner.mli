@@ -8,6 +8,9 @@ type protocol =
   | Multisig_boost  (** the same pipeline over Theta(n) multisig certs [13] *)
   | Sqrt_boost  (** KS'09-style quorums, Theta~(sqrt n) per party *)
   | Naive_boost  (** flooding, Theta(n) per party *)
+  | Dolev_strong
+      (** authenticated Dolev–Strong broadcast: the classic Theta(n^2)-message
+          reference row ({!Baseline_dolev}) *)
 
 val all_protocols : protocol list
 val protocol_name : protocol -> string
@@ -79,8 +82,20 @@ type attack_cell = {
   ac_agreed : bool;
   ac_decided : float;
   ac_valid : bool;
-  ac_ok : bool;  (** agreed, >95% honest decided, validity held *)
-  ac_expect_fail : bool;  (** beta >= 1/3 sanity row *)
+  ac_ok : bool;
+      (** agreed, >95% honest decided, validity held — and, on condition
+          cells, zero post-GST stragglers *)
+  ac_expect_fail : bool;  (** sanity row / planted condition: may fail *)
+  ac_condition : string;
+      (** a {!Repro_adversary.Condition} name, or ["none"] for the
+          content-only cells of the legacy sweep *)
+  ac_gated : bool;
+      (** counts toward [am_gate_ok] (the Dolev–Strong condition rows are
+          ungated reference points) *)
+  ac_rounds : int;
+  ac_vt : int;  (** final virtual time (= rounds on lock-step backends) *)
+  ac_pre_gst_lost : int;  (** condition cells: retransmit-path messages *)
+  ac_post_gst_late : int;  (** 0 by the partial-synchrony contract *)
 }
 
 type attack_matrix = {
@@ -90,18 +105,33 @@ type attack_matrix = {
   am_seeds : int list;
   am_protocols : string list;
   am_strategies : string list;
+  am_conditions : string list;  (** network conditions swept (may be empty) *)
   am_cells : attack_cell list;  (** deterministic input order *)
-  am_gate_ok : bool;  (** every non-sanity cell is ok *)
+  am_gate_ok : bool;  (** every gated non-sanity cell is ok *)
   am_teeth : bool;  (** some sanity cell actually failed: checks have teeth *)
+  am_condition_teeth : bool;
+      (** the planted never-healing partition and unbounded-adaptive rows
+          exist and both actually failed *)
 }
 
 val attack_protocols : protocol list
-(** The pipeline protocols the matrix covers (owf and snark Fig. 3). *)
+(** The pipeline protocols the content-only matrix covers (owf and snark
+    Fig. 3). *)
+
+val condition_protocols : protocol list
+(** The protocols the condition sweep covers: the two pipelines plus the
+    ungated {!Dolev_strong} authenticated reference row. *)
+
+val default_chaos : seed:int -> Repro_net.Sched.async_cfg
+(** delta 2, jitter 3, loss 0.1, GST 24: a pre-GST window of genuinely
+    chaotic scheduling followed by a bounded partial-synchrony tail. *)
 
 val run_attack_cell :
   ?recorder:Repro_obs.Recorder.t ->
   ?tap:(round:int -> Repro_net.Wire.msg -> unit) ->
   ?backend:Repro_net.Sched.backend ->
+  ?condition_name:string ->
+  ?gated:bool ->
   protocol:protocol ->
   strategy_name:string ->
   n:int ->
@@ -111,16 +141,21 @@ val run_attack_cell :
   unit ->
   attack_cell
 (** One cell: the full BA protocol against one instantiated strategy. Every
-    non-sanity failure bumps the [attack.violations.<strategy>] counter.
-    [?recorder] attaches a flight recorder to the cell's network (the
-    forensic re-run path); recording observes traffic without altering it.
-    [?tap] and [?backend] thread through to the cell's network. *)
+    gated non-sanity failure bumps the [attack.violations.<strategy>]
+    counter. [?recorder] attaches a flight recorder to the cell's network
+    (the forensic re-run path); recording observes traffic without altering
+    it. [?tap] and [?backend] thread through to the cell's network.
+    [?condition_name] resolves a {!Repro_adversary.Condition} and runs the
+    cell on the async backend ({!default_chaos} unless an async [?backend]
+    is given — a lock-step [?backend] raises); the static corrupt set is
+    scaled by the condition's reserved adaptive budget. *)
 
 val attack_matrix :
   ?betas:float list ->
   ?sanity_betas:float list ->
   ?seeds:int list ->
   ?strategies:string list ->
+  ?conditions:string list ->
   n:int ->
   unit ->
   attack_matrix
@@ -130,17 +165,26 @@ val attack_matrix :
     draw alone sinks some seeds even against a silent adversary — see
     EXPERIMENTS.md E10/E16),
     one beta >= 1/3 sanity row at 0.45, seed 1, the full
-    {!Repro_adversary.Strategy.catalogue}. Deterministic: same arguments
-    give an identical matrix (and identical {!attack_matrix_json} bytes)
-    for any [REPRO_DOMAINS] pool size. *)
+    {!Repro_adversary.Strategy.catalogue}, no conditions (the legacy
+    content-only matrix). A non-empty [?conditions] appends, after the
+    legacy cells: one async-backend cell per
+    (seed x gate beta x condition x strategy x {!condition_protocols}),
+    then the two planted expect-fail teeth rows (never-healing partition,
+    unbounded adaptive) behind [am_condition_teeth]. Deterministic: same
+    arguments give an identical matrix (and identical
+    {!attack_matrix_json} bytes) for any [REPRO_DOMAINS] pool size. *)
 
 val attack_matrix_json : attack_matrix -> string
-(** Machine-readable report, schema [repro-attack/1]; parses back with
+(** Machine-readable report, schema [repro-attack/2]; parses back with
     {!Repro_util.Json}. Byte-identical across reruns with equal inputs. *)
 
 val attack_table : attack_matrix -> Repro_util.Tablefmt.t
 (** Compact rendering: one row per (strategy, beta), per-protocol ok
-    counts across seeds. *)
+    counts across seeds (content-only cells). *)
+
+val condition_table : attack_matrix -> Repro_util.Tablefmt.t
+(** The condition axis: one row per (condition, strategy, beta, expect),
+    per-protocol ok counts over {!condition_protocols}. *)
 
 val table1_rows :
   ?ns:int list -> ?beta:float -> ?seed:int -> unit -> row list
@@ -309,6 +353,7 @@ val explain_json : explain_report -> string
 type forensic_bundle = {
   fb_protocol : string;
   fb_strategy : string;
+  fb_condition : string;  (** the cell's network condition ("none" = legacy) *)
   fb_beta : float;
   fb_seed : int;
   fb_cell_ok : bool;  (** the triggering cell's gate verdict *)
@@ -412,10 +457,6 @@ type async_cell = {
   ay_ok : bool;
       (** agreed, >95% decided, valid, and no post-GST late delivery *)
 }
-
-val default_chaos : seed:int -> Repro_net.Sched.async_cfg
-(** delta 2, jitter 3, loss 0.1, GST 24: a pre-GST window of genuinely
-    chaotic scheduling followed by a bounded partial-synchrony tail. *)
 
 val run_async_cell :
   protocol:protocol ->

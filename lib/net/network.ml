@@ -29,7 +29,10 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type async_state = {
   a_cfg : Sched.async_cfg;
   a_edges : Sched.edges;
-  a_heap : Wire.msg Sched.Heap.t; (* this round's pending deliveries *)
+  a_heap : (Wire.msg * int) Sched.Heap.t;
+      (* pending deliveries with their send virtual time; entries normally
+         drain within the round, but a condition's [Defer] verdict (and
+         deliveries held for a dark party) persist across rounds *)
   a_stats : Sched.stats;
   mutable a_vt : int; (* virtual clock; advances to the round barrier *)
   mutable a_seq : int; (* global send counter: heap tiebreak = send order *)
@@ -49,6 +52,8 @@ type t = {
   mutable dirty : int list; (* parties with a non-empty current inbox *)
   mutable round : int;
   mutable in_adv_step : bool; (* inside the adversary's turn of a round *)
+  mutable condition : Sched.condition option;
+      (* network-condition hook; async backend only, None = ideal network *)
 }
 
 type handler = round:int -> inbox:Wire.msg list -> unit
@@ -96,6 +101,7 @@ let create ?(backend = Sched.Sparse) ~n ~corrupt () =
     dirty = [];
     round = 0;
     in_adv_step = false;
+    condition = None;
   }
 
 let n t = t.n
@@ -107,6 +113,41 @@ let virtual_time t =
   match t.async with Some a -> a.a_vt | None -> t.round
 
 let async_stats t = Option.map (fun a -> a.a_stats) t.async
+
+(* Conditions program the async executor's delivery heap; the lock-step
+   backends have no heap to program, so attaching one there is a caller
+   bug, not a silent no-op. *)
+let set_condition t c =
+  (match t.async with
+  | None ->
+    invalid_arg "Network.set_condition: conditions require the async backend"
+  | Some _ -> ());
+  t.condition <- Some c
+
+let condition t = t.condition
+
+(* A party is dark when the attached condition says so for the current
+   (virtual time, round) — its handler is skipped and its deliveries are
+   held on the heap until it resumes. Without a condition every party is
+   up, on every backend. *)
+let party_up t i =
+  match (t.condition, t.async) with
+  | Some c, Some a -> not (c.Sched.c_down ~now:a.a_vt ~round:t.round i)
+  | _ -> true
+
+(* Mid-run corruption upgrade (the adaptive adversary's move). The auditor
+   and recorder each hold a *copy* of the mask, so both are re-synced; the
+   upgraded party's handler stops being scheduled from the next honest
+   check on. *)
+let mark_corrupt t p =
+  if p < 0 || p >= t.n then invalid_arg "Network.mark_corrupt: party index";
+  if not t.corrupt.(p) then begin
+    t.corrupt.(p) <- true;
+    Option.iter (fun a -> Repro_obs.Audit.set_corrupt a t.corrupt) t.audit;
+    Option.iter
+      (fun r -> Repro_obs.Recorder.set_corrupt r t.corrupt)
+      t.recorder
+  end
 
 (* The auditor only budget-checks honest parties: the adversary can always
    inflate its own parties' numbers. *)
@@ -213,16 +254,66 @@ let deliver_async t a =
         Sched.draw_latency a.a_edges a.a_cfg ~src:m.Wire.src ~dst:m.Wire.dst
           ~now:a.a_vt
       in
-      let dv = a.a_vt + lat in
-      if dv > !barrier then barrier := dv;
-      Sched.note_delivery a.a_stats a.a_cfg ~send_vt:a.a_vt ~deliver_vt:dv;
+      (* The condition sees the drawn latency and may reroute: [Deliver]
+         stays inside the round (extends the barrier like any draw),
+         [Defer] parks the event past the barrier so it crosses rounds.
+         No condition = [Deliver lat], the historical behaviour. *)
+      let dv =
+        match t.condition with
+        | None ->
+          if a.a_vt + lat > !barrier then barrier := a.a_vt + lat;
+          a.a_vt + lat
+        | Some c -> (
+          match
+            c.Sched.c_route ~now:a.a_vt ~round:t.round ~src:m.Wire.src
+              ~dst:m.Wire.dst ~lat
+          with
+          | Sched.Deliver lat ->
+            let dv = a.a_vt + max 1 lat in
+            if dv > !barrier then barrier := dv;
+            dv
+          | Sched.Defer vt -> max (a.a_vt + 1) vt)
+      in
       a.a_seq <- a.a_seq + 1;
-      Sched.Heap.push a.a_heap ~time:dv ~seq:a.a_seq m)
+      Sched.Heap.push a.a_heap ~time:dv ~seq:a.a_seq (m, a.a_vt))
     (List.rev t.staged);
+  (* Drain everything due by the barrier; later events stay parked. A
+     delivery whose destination is dark this round is requeued just past
+     the barrier (fresh seq), so it retries every round until the party
+     resumes — and because [barrier + 1 > barrier] the drain always
+     terminates. The requeue re-stamps the send time to the hold point:
+     holding mail for a crashed receiver models a retransmit on resume,
+     so the partial-synchrony straggler accounting (which bounds the
+     *network's* latency, not a crashed party's outage) measures from the
+     re-offer. Delivery statistics are charged once, at the pop that
+     actually delivers. *)
+  (* A delivery made at the close of round r is read by its handler in
+     round r + 1, so the hold test asks about the round the message would
+     be *read* in — the exact complement of the handler skip, which is
+     what makes churn lossless: a party dark for [r0, r1) reads nothing
+     in that window and everything held for it on resume. *)
+  let down dst =
+    match t.condition with
+    | None -> false
+    | Some c -> c.Sched.c_down ~now:a.a_vt ~round:(t.round + 1) dst
+  in
   let rec drain acc =
-    match Sched.Heap.pop a.a_heap with
-    | None -> acc
-    | Some (_, _, m) -> drain (m :: acc)
+    match Sched.Heap.peek a.a_heap with
+    | Some (time, _, _) when time <= !barrier -> (
+      match Sched.Heap.pop a.a_heap with
+      | Some (time, _, (m, send_vt)) ->
+        if down m.Wire.dst then begin
+          a.a_seq <- a.a_seq + 1;
+          Sched.Heap.push a.a_heap ~time:(!barrier + 1) ~seq:a.a_seq
+            (m, !barrier);
+          drain acc
+        end
+        else begin
+          Sched.note_delivery a.a_stats a.a_cfg ~send_vt ~deliver_vt:time;
+          drain (m :: acc)
+        end
+      | None -> acc)
+    | Some _ | None -> acc
   in
   (* [drain] accumulates by consing, so [acc] ends in reverse delivery
      order — exactly what [deliver_msgs] expects. *)
@@ -236,6 +327,14 @@ let finish_round t adversary =
     ~finally:(fun () -> t.in_adv_step <- false)
     (fun () ->
       adversary.adv_step t ~round:t.round ~honest_staged:(staged_honest t));
+  (* The adaptive hook observes the same honest traffic the rushing
+     adversary just saw, and may upgrade its corrupt set before delivery —
+     upgrades take effect from the next round's honest check. *)
+  (match (t.condition, t.async) with
+  | Some c, Some a ->
+    c.Sched.c_observe ~now:a.a_vt ~round:t.round ~msgs:(staged_honest t)
+      ~corrupt:(mark_corrupt t)
+  | _ -> ());
   (match t.async with Some a -> deliver_async t a | None -> deliver t);
   (* Receives of round r's sends are charged to round r, keeping per-round
      send/recv conservation; the auditor closes the round after delivery. *)
@@ -249,7 +348,7 @@ let step t ?(adversary = null_adversary) handlers =
   Array.iteri
     (fun i h ->
       match h with
-      | Some handler when is_honest t i ->
+      | Some handler when is_honest t i && party_up t i ->
         incr scheduled;
         handler ~round:t.round ~inbox:t.inboxes.(i)
       | _ -> ())
@@ -283,7 +382,7 @@ let step_parties t ?(adversary = null_adversary) parties =
   let scheduled = ref 0 in
   List.iter
     (fun (i, handler) ->
-      if is_honest t i then begin
+      if is_honest t i && party_up t i then begin
         incr scheduled;
         handler ~round:t.round ~inbox:t.inboxes.(i)
       end)

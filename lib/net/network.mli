@@ -38,6 +38,25 @@ val async_stats : t -> Sched.stats option
     backends): latency maxima, pre-GST retransmissions, and the sampled
     (send, deliver) log the partial-synchrony checks run against. *)
 
+val set_condition : t -> Sched.condition -> unit
+(** Attach a network condition (partition / churn / delay / adaptive
+    corruption — see {!Sched.condition}): it routes every subsequent
+    delivery, may hold parties dark, and may upgrade the corrupt set after
+    observing honest traffic. Raises [Invalid_argument] on the lock-step
+    backends, which have no delivery heap to program. *)
+
+val condition : t -> Sched.condition option
+
+val party_up : t -> int -> bool
+(** Whether the attached condition keeps this party up for the current
+    round (always true without a condition). Dark parties' handlers are
+    skipped and their deliveries held until they resume. *)
+
+val mark_corrupt : t -> int -> unit
+(** Upgrade one party to the corrupt set mid-run (the adaptive adversary's
+    move): idempotent, re-syncs the auditor's and recorder's mask copies,
+    and stops the party's handlers from the next honest check on. *)
+
 val attach_audit : t -> Repro_obs.Audit.t -> unit
 (** Attach an online per-party complexity auditor: every subsequent send,
     delivery and round boundary is fed to it, and its budget checks are

@@ -116,6 +116,13 @@ module Heap = struct
       i := (!i - 1) / 2
     done
 
+  let peek h =
+    if h.size = 0 then None
+    else
+      match h.vals.(0) with
+      | Some v -> Some (h.times.(0), h.seqs.(0), v)
+      | None -> assert false
+
   let pop h =
     if h.size = 0 then None
     else begin
@@ -246,3 +253,47 @@ let post_gst_ok ~gst ~delta log =
   List.for_all
     (fun d -> d.dl_send_vt < gst || d.dl_deliver_vt - d.dl_send_vt <= 1 + max 0 delta)
     log
+
+(* --- network conditions ---
+
+   A condition programs the executor from outside the latency model: it can
+   reroute individual deliveries (partitions, extra delay), take parties
+   down for a window (crash-recovery churn), and upgrade the corrupt set
+   after observing honest traffic (the King–Saia adaptive adversary). The
+   executor consults it per staged message *after* drawing the baseline
+   latency, so attaching a condition never perturbs the edge streams — and
+   a run with no condition attached draws and routes exactly as before,
+   keeping the zero-knob transcript byte-identical to lock-step.
+
+   [Deliver lat] keeps the message inside the current round (it extends the
+   round barrier like any latency draw); [Defer vt] parks it on the heap
+   until virtual time [vt] *without* extending the barrier, so the message
+   crosses round boundaries — the partition primitive. Deferred messages
+   are charged to the delivery statistics when they actually pop, not when
+   staged, so pre/post-GST accounting reflects the schedule they really
+   followed. *)
+
+type route =
+  | Deliver of int  (* deliver this round after max 1 lat ticks *)
+  | Defer of int  (* park until this virtual time; may cross rounds *)
+
+type condition = {
+  c_name : string;
+  c_route : now:int -> round:int -> src:int -> dst:int -> lat:int -> route;
+      (* per-message verdict; [lat] is the latency the edge stream drew *)
+  c_down : now:int -> round:int -> int -> bool;
+      (* party is dark this round: handler skipped, deliveries held *)
+  c_observe :
+    now:int -> round:int -> msgs:Wire.msg list -> corrupt:(int -> unit) -> unit;
+      (* adaptive hook: sees the round's honest sends, may upgrade parties *)
+}
+
+(* The identity condition: routes every message at its drawn latency, keeps
+   every party up, never corrupts. Attaching it is observationally a no-op. *)
+let pass_condition =
+  {
+    c_name = "pass";
+    c_route = (fun ~now:_ ~round:_ ~src:_ ~dst:_ ~lat -> Deliver lat);
+    c_down = (fun ~now:_ ~round:_ _ -> false);
+    c_observe = (fun ~now:_ ~round:_ ~msgs:_ ~corrupt:_ -> ());
+  }

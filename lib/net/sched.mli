@@ -46,6 +46,9 @@ module Heap : sig
   val size : 'a t -> int
   val push : 'a t -> time:int -> seq:int -> 'a -> unit
   val pop : 'a t -> (int * int * 'a) option
+
+  val peek : 'a t -> (int * int * 'a) option
+  (** The element {!pop} would return, without removing it. *)
 end
 
 type edges
@@ -86,3 +89,37 @@ val post_gst_ok : gst:int -> delta:int -> delivery list -> bool
 (** The partial-synchrony contract as a pure predicate: every sampled
     message sent at or after [gst] was delivered within [1 + delta].
     Tests check it with teeth — a planted late delivery makes it false. *)
+
+(** {1 Network conditions}
+
+    A condition programs the async executor from outside the latency
+    model: reroute deliveries (partitions, extra delay), take parties dark
+    for a window (churn), upgrade the corrupt set after observing traffic
+    (the King–Saia adaptive adversary). Consulted per staged message
+    {e after} the baseline latency draw, so attaching one never perturbs
+    the edge streams; runs with no condition attached execute exactly as
+    before. *)
+
+type route =
+  | Deliver of int
+      (** deliver within the current round after [max 1 lat] ticks; extends
+          the round barrier like a latency draw *)
+  | Defer of int
+      (** park on the heap until this virtual time without extending the
+          barrier — the message crosses round boundaries (partitions) *)
+
+type condition = {
+  c_name : string;
+  c_route : now:int -> round:int -> src:int -> dst:int -> lat:int -> route;
+      (** per-message verdict; [lat] is the drawn baseline latency *)
+  c_down : now:int -> round:int -> int -> bool;
+      (** party is dark this round: handler skipped, deliveries held until
+          it resumes *)
+  c_observe :
+    now:int -> round:int -> msgs:Wire.msg list -> corrupt:(int -> unit) -> unit;
+      (** adaptive hook: sees the round's honest sends after the adversary's
+          turn, may upgrade parties via [corrupt] *)
+}
+
+val pass_condition : condition
+(** The identity condition — attaching it is observationally a no-op. *)

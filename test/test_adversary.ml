@@ -350,7 +350,7 @@ let test_matrix_report_and_teeth () =
   match Json.parse json with
   | Error e -> Alcotest.fail ("report does not parse: " ^ e)
   | Ok j ->
-    Alcotest.(check (option string)) "schema" (Some "repro-attack/1")
+    Alcotest.(check (option string)) "schema" (Some "repro-attack/2")
       (Option.bind (Json.member "schema" j) Json.to_string);
     let cells =
       match Option.bind (Json.member "cells" j) Json.to_list with

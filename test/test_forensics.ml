@@ -80,9 +80,12 @@ let expected_sends script =
   !out
 
 (* Drive the script through a fresh network with an auditor and a recorder
-   both attached; [sparse] picks the delivery-driven stepper. *)
-let drive ~sparse script =
-  let net = Network.create ~n:script.sc_n ~corrupt:[] () in
+   both attached; [sparse] picks the delivery-driven stepper, [backend]
+   overrides it (the async executor), and [condition] programs the async
+   delivery heap — dark parties skip their scripted sends. *)
+let drive ?backend ?condition ~sparse script =
+  let net = Network.create ?backend ~n:script.sc_n ~corrupt:[] () in
+  Option.iter (Network.set_condition net) condition;
   let audit =
     Audit.create ~label:"forensics-qcheck" ~n:script.sc_n
       ~budgets:Audit.no_budgets ()
@@ -108,8 +111,23 @@ let drive ~sparse script =
   Audit.finalize audit;
   (r, audit)
 
-let check_conservation ~sparse script =
-  let r, audit = drive ~sparse script in
+let check_conservation ?backend ?condition ?(down = fun ~round:_ _ -> false)
+    ~sparse script =
+  let r, audit = drive ?backend ?condition ~sparse script in
+  (* A dark party's handler is skipped, so its scripted sends for that
+     round never happen — the expectation filters them out; everything
+     else must be charged exactly once, retransmit holds and deferred
+     deliveries notwithstanding (sends are charged at the staging choke
+     point, never on the delivery path). *)
+  let script =
+    {
+      script with
+      sc_sends =
+        List.filter
+          (fun (rr, src, _, _, _) -> not (down ~round:rr src))
+          script.sc_sends;
+    }
+  in
   let observed =
     List.filter_map
       (function
@@ -160,6 +178,49 @@ let prop_conservation_sparse =
     ~name:"recorder: exact send order + per-round bits = audit (sparse)"
     arb_script
     (check_conservation ~sparse:true)
+
+(* The same conservation law on the async executor: pre-GST loss puts
+   messages on the retransmit path, yet the recorder and auditor charge
+   each send exactly once, at staging. *)
+module Sched = Repro_net.Sched
+
+let lossy ~seed =
+  { Sched.a_seed = seed; a_delta = 2; a_jitter = 3; a_loss = 0.3; a_gst = 4 }
+
+let prop_conservation_async_lossy =
+  QCheck.Test.make ~count:60
+    ~name:"recorder: exact send order + per-round bits = audit (async lossy)"
+    arb_script
+    (fun script ->
+      check_conservation
+        ~backend:(Sched.Async (lossy ~seed:(script.sc_n + 31)))
+        ~sparse:false script)
+
+(* ... and under a condition that both defers deliveries across rounds
+   (condition-induced retransmissions) and holds parties dark (their
+   scripted sends never happen; mail addressed to them is re-offered every
+   round until resume). Neither path may double-charge. *)
+let churn_down ~round p = p mod 3 = 1 && round >= 1 && round < 3
+
+let churn_condition =
+  {
+    Sched.c_name = "qcheck-churn";
+    c_route =
+      (fun ~now ~round:_ ~src ~dst ~lat ->
+        if (src + dst + now) mod 5 = 0 then Sched.Defer (now + 3)
+        else Sched.Deliver lat);
+    c_down = (fun ~now:_ ~round p -> churn_down ~round p);
+    c_observe = (fun ~now:_ ~round:_ ~msgs:_ ~corrupt:_ -> ());
+  }
+
+let prop_conservation_async_churn =
+  QCheck.Test.make ~count:60
+    ~name:"recorder: per-round bits = audit (async churn + defers)"
+    arb_script
+    (fun script ->
+      check_conservation
+        ~backend:(Sched.Async (lossy ~seed:(script.sc_n + 7)))
+        ~condition:churn_condition ~down:churn_down ~sparse:false script)
 
 (* ------------------------------------------------------------------ *)
 (* Replay round-trip                                                   *)
@@ -316,6 +377,8 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_conservation_dense;
     QCheck_alcotest.to_alcotest prop_conservation_sparse;
+    QCheck_alcotest.to_alcotest prop_conservation_async_lossy;
+    QCheck_alcotest.to_alcotest prop_conservation_async_churn;
     Alcotest.test_case "replay: round-trip byte-identical" `Quick
       test_replay_roundtrip;
     Alcotest.test_case "replay: tampering detected" `Quick

@@ -488,8 +488,11 @@ let test_breakdown_conserves_total () =
     (List.length rows);
   List.iter
     (fun r ->
+      (* A zero-traffic row is legitimate: dolev-strong under a corrupt
+         (silent) designated sender never sends a byte, so its breakdown
+         is empty and conservation holds trivially. *)
       Alcotest.(check bool) (r.Runner.r_protocol ^ " has breakdown") true
-        (r.Runner.r_breakdown <> []);
+        (r.Runner.r_breakdown <> [] || r.Runner.r_total_bytes = 0);
       let sum = List.fold_left (fun acc (_, b) -> acc + b) 0 r.Runner.r_breakdown in
       Alcotest.(check int) (r.Runner.r_protocol ^ " breakdown sums to total")
         r.Runner.r_total_bytes sum)

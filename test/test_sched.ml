@@ -181,6 +181,108 @@ let test_async_acceptance_cells () =
        (fun a -> a.Runner.ay_protocol = "this-work-owf" && a.Runner.ay_n = 256)
        cells)
 
+(* --- the condition hook: Defer parks past the barrier, down holds --- *)
+
+(* Exact synchrony with a distant GST: latency is pinned at 1, so the only
+   scheduling variable is the condition under test. *)
+let calm ~seed =
+  { Sched.a_seed = seed; a_delta = 0; a_jitter = 0; a_loss = 0.0; a_gst = 100 }
+
+(* A [Defer vt] verdict parks the event past the round barrier: it crosses
+   rounds and is read when the virtual clock reaches vt, while a [Deliver]
+   to another destination in the same send lands next round as usual. *)
+let test_condition_defer_crosses_rounds () =
+  let n = 4 in
+  let net = Network.create ~backend:(Sched.Async (calm ~seed:1)) ~n ~corrupt:[] () in
+  Network.set_condition net
+    {
+      Sched.c_name = "defer-to-2";
+      c_route =
+        (fun ~now:_ ~round:_ ~src:_ ~dst ~lat ->
+          if dst = 2 then Sched.Defer 5 else Sched.Deliver lat);
+      c_down = (fun ~now:_ ~round:_ _ -> false);
+      c_observe = (fun ~now:_ ~round:_ ~msgs:_ ~corrupt:_ -> ());
+    };
+  let arrivals = ref [] in
+  let handler i ~round ~inbox =
+    List.iter
+      (fun (m : Repro_net.Wire.msg) ->
+        arrivals := (i, round, m.Repro_net.Wire.src) :: !arrivals)
+      inbox;
+    if i = 0 && round = 0 then begin
+      Network.send net ~src:0 ~dst:2 ~tag:"x" (Bytes.of_string "a");
+      Network.send net ~src:0 ~dst:3 ~tag:"x" (Bytes.of_string "b")
+    end
+  in
+  Network.run net ~rounds:8 (Array.init n (fun i -> Some (handler i)));
+  Alcotest.(check (list (triple int int int)))
+    "undeferred copy next round, deferred copy at its virtual time"
+    [ (3, 1, 0); (2, 5, 0) ]
+    (List.rev !arrivals)
+
+(* A party the condition holds down is skipped by the stepper and its mail
+   is held: the dark window loses nothing and feeds everything on resume. *)
+let test_condition_down_party_skip () =
+  let n = 4 and rounds = 6 in
+  let net = Network.create ~backend:(Sched.Async (calm ~seed:2)) ~n ~corrupt:[] () in
+  Network.set_condition net
+    {
+      Sched.c_name = "darken-1";
+      c_route = (fun ~now:_ ~round:_ ~src:_ ~dst:_ ~lat -> Sched.Deliver lat);
+      c_down = (fun ~now:_ ~round p -> p = 1 && round >= 1 && round < 3);
+      c_observe = (fun ~now:_ ~round:_ ~msgs:_ ~corrupt:_ -> ());
+    };
+  let invoked = ref [] and received = Array.make n [] in
+  let handler i ~round ~inbox =
+    invoked := (i, round) :: !invoked;
+    List.iter
+      (fun (m : Repro_net.Wire.msg) ->
+        received.(i) <-
+          (m.Repro_net.Wire.src, Bytes.to_string m.Repro_net.Wire.payload)
+          :: received.(i))
+      inbox;
+    for dst = 0 to n - 1 do
+      if dst <> i then
+        Network.send net ~src:i ~dst ~tag:"t"
+          (Bytes.of_string (string_of_int round))
+    done
+  in
+  Network.run net ~rounds (Array.init n (fun i -> Some (handler i)));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "party 1 skipped in dark round %d" r)
+        false
+        (List.mem (1, r) !invoked))
+    [ 1; 2 ];
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "party 1 stepped in round %d" r)
+        true
+        (List.mem (1, r) !invoked))
+    [ 0; 3; 4; 5 ];
+  let sort = List.sort compare in
+  (* party 1 still receives every send addressed to it (sent rounds 0..4;
+     round-5 sends would be read in round 6, past the run) *)
+  Alcotest.(check (list (pair int string)))
+    "dark window held, replayed on resume: nothing lost"
+    (sort
+       (List.concat_map
+          (fun r ->
+            List.map (fun src -> (src, string_of_int r)) [ 0; 2; 3 ])
+          [ 0; 1; 2; 3; 4 ]))
+    (sort received.(1));
+  (* ... while its own dark rounds produced no sends at all *)
+  Alcotest.(check (list (pair int string)))
+    "a dark party stages nothing"
+    (sort
+       (List.map (fun r -> (1, string_of_int r)) [ 0; 3; 4 ]
+       @ List.concat_map
+           (fun r -> List.map (fun src -> (src, string_of_int r)) [ 2; 3 ])
+           [ 0; 1; 2; 3; 4 ]))
+    (sort received.(0))
+
 (* --- replay of async-recorded logs --- *)
 
 let test_async_replay_roundtrip () =
@@ -245,6 +347,10 @@ let suite =
       test_async_pool_independent;
     Alcotest.test_case "async acceptance cells (chaos knobs, n=256)" `Quick
       test_async_acceptance_cells;
+    Alcotest.test_case "condition Defer parks past the round barrier" `Quick
+      test_condition_defer_crosses_rounds;
+    Alcotest.test_case "condition down-party skip is lossless" `Quick
+      test_condition_down_party_skip;
     Alcotest.test_case "async replay round-trip (vt preserved)" `Quick
       test_async_replay_roundtrip;
     Alcotest.test_case "lock-step logs carry no virtual timestamps" `Quick
